@@ -1,0 +1,30 @@
+//! Criterion bench: cluster-emulator execution rate (instructions/s across
+//! device threads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mario_cluster::EmulatorConfig;
+use mario_ir::{SchemeKind, UnitCost};
+use mario_schedules::{generate, ScheduleConfig};
+use std::hint::black_box;
+
+fn bench_emulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator");
+    g.sample_size(20);
+    for d in [4u32, 8, 16] {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, d, 2 * d));
+        g.throughput(Throughput::Elements(s.total_instrs() as u64));
+        g.bench_with_input(BenchmarkId::new("one_f_one_b", d), &s, |b, s| {
+            b.iter(|| {
+                black_box(
+                    mario_cluster::run(s, &UnitCost::paper_grid(), EmulatorConfig::default())
+                        .unwrap()
+                        .total_ns,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulator);
+criterion_main!(benches);

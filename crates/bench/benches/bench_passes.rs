@@ -1,0 +1,61 @@
+//! Criterion bench: graph-tuner pass cost (the AOT optimization the paper
+//! runs once per configuration during tuning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mario_core::passes::{
+    apply_checkpoint, overlap_recompute, remove_redundancy, run_graph_tuner, GraphTunerOptions,
+};
+use mario_ir::{SchemeKind, UnitCost};
+use mario_schedules::{generate, ScheduleConfig};
+use std::hint::black_box;
+
+fn bench_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("passes");
+    let base = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 32, 64));
+    let cost = UnitCost::paper_grid();
+
+    g.bench_function("apply_checkpoint_32x64", |b| {
+        b.iter(|| {
+            let mut s = base.clone();
+            black_box(apply_checkpoint(&mut s))
+        })
+    });
+    let mut ckpted = base.clone();
+    apply_checkpoint(&mut ckpted);
+    g.bench_function("overlap_recompute_32x64", |b| {
+        b.iter(|| {
+            let mut s = ckpted.clone();
+            black_box(overlap_recompute(&mut s))
+        })
+    });
+    g.bench_function("remove_redundancy_32x64", |b| {
+        b.iter(|| {
+            let mut s = ckpted.clone();
+            black_box(remove_redundancy(&mut s))
+        })
+    });
+    for d in [8u32, 16, 32] {
+        let base = generate(ScheduleConfig::new(SchemeKind::OneFOneB, d, 2 * d));
+        g.bench_with_input(
+            BenchmarkId::new("full_graph_tuner_no_prepose", d),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    let mut s = base.clone();
+                    black_box(run_graph_tuner(
+                        &mut s,
+                        &cost,
+                        GraphTunerOptions {
+                            prepose: false,
+                            ..GraphTunerOptions::mario()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: simulation latency (paper §5.2 reports ~700 ms for
+//! GPT3-13B, 64 micro-batches, Chimera, 32 GPUs — our target is the same
+//! order of magnitude or better).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mario_core::simulator::{simulate_memory, simulate_timeline};
+use mario_ir::{SchemeKind, Topology};
+use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
+use mario_bench::channel_capacity;
+use mario_schedules::{generate, ScheduleConfig};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    for (scheme, name) in [
+        (SchemeKind::OneFOneB, "V"),
+        (SchemeKind::Chimera, "X"),
+        (SchemeKind::Interleave { chunks: 2 }, "W"),
+    ] {
+        // The paper's headline simulation: GPT3-13B, 32 GPUs, 64 micros.
+        let topo = Topology::new(scheme, 32);
+        let setup = TrainSetup::pipeline(
+            ModelConfig::gpt3_13b(),
+            GpuSpec::a100_40g(),
+            topo,
+            2,
+        );
+        let cost = AnalyticCost::new(&setup);
+        let schedule = generate(ScheduleConfig::new(scheme, 32, 64));
+        let cap = channel_capacity(scheme);
+        g.bench_with_input(
+            BenchmarkId::new("timeline_gpt3_13b_32gpu_64micro", name),
+            &schedule,
+            |b, s| b.iter(|| black_box(simulate_timeline(s, &cost, cap).unwrap().total_ns)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("memory_gpt3_13b_32gpu_64micro", name),
+            &schedule,
+            |b, s| b.iter(|| black_box(simulate_memory(s, &cost, None).max_peak())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: schedule-tuner grid-point cost (the paper reports
+//! 1060 ms per iteration on a 1024-GPU scenario and 210 s for the full
+//! 64-GPU search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mario_core::tuner::{evaluate, Candidate, TunerConfig};
+use mario_ir::SchemeKind;
+use mario_model::{GpuSpec, ModelConfig};
+use std::hint::black_box;
+
+fn bench_tuner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuner");
+    g.sample_size(10);
+    let model = ModelConfig::gpt3_13b();
+    let gpu = GpuSpec::a100_40g();
+    for devices in [16u32, 64] {
+        let cfg = TunerConfig {
+            prepose: false,
+            ..TunerConfig::new(devices, 256, 40 * (1 << 30))
+        };
+        let cand = Candidate {
+            scheme: SchemeKind::OneFOneB,
+            pp: devices,
+            dp: 1,
+            mbs: 2,
+            mario: true,
+        };
+        g.bench_with_input(
+            BenchmarkId::new("evaluate_one_grid_point", devices),
+            &cand,
+            |b, &cand| b.iter(|| black_box(evaluate(&model, &gpu, &cfg, cand))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tuner);
+criterion_main!(benches);

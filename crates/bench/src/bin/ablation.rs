@@ -1,0 +1,6 @@
+//! Regenerates the §7.1 partition ablation and the per-pass ablation.
+fn main() {
+    let ramp = mario_bench::experiments::ablation::partition_ramp();
+    let passes = mario_bench::experiments::ablation::pass_ablation();
+    println!("{}", mario_bench::experiments::ablation::render(&ramp, &passes));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 1 (pipeline scheme development).
+fn main() {
+    let rows = mario_bench::experiments::fig1::run();
+    println!("{}", mario_bench::experiments::fig1::render(&rows));
+}

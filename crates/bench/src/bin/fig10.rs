@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10 (simulator accuracy).
+fn main() {
+    let acc = mario_bench::experiments::fig10::run();
+    println!("{}", mario_bench::experiments::fig10::render(&acc));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 11 (the 64-GPU tuning curve).
+fn main() {
+    let result = mario_bench::experiments::fig11::run(64, 2048);
+    println!("{}", mario_bench::experiments::fig11::render(&result));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2 (the near zero-cost checkpointing steps).
+fn main() {
+    let steps = mario_bench::experiments::fig2::run();
+    println!("{}", mario_bench::experiments::fig2::render(&steps));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6 (throughput on GPT3-1.6B / LLaMA2-3B, 8 GPUs).
+fn main() {
+    for (model, rows) in mario_bench::experiments::fig6::run() {
+        println!("{}", mario_bench::experiments::fig6::render(&model, &rows));
+    }
+}

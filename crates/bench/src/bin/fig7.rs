@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7 (per-device peak memory).
+fn main() {
+    for (title, rows) in mario_bench::experiments::fig7::run() {
+        println!("{}", mario_bench::experiments::fig7::render(&title, &rows));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8 (model-parameter scaling).
+fn main() {
+    let points = mario_bench::experiments::fig8::run();
+    println!("{}", mario_bench::experiments::fig8::render(&points));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9 (sequence-length scaling).
+fn main() {
+    let rows = mario_bench::experiments::fig9::run();
+    println!("{}", mario_bench::experiments::fig9::render(&rows));
+}

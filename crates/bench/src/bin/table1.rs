@@ -1,0 +1,8 @@
+//! Regenerates Table 1 (memory footprint across pipeline schemes).
+fn main() {
+    for d in [4u32, 8, 16] {
+        println!("D = {d}, N = {}:", 2 * d);
+        let rows = mario_bench::experiments::table1::run(d);
+        println!("{}", mario_bench::experiments::table1::render(&rows));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 5 (13B models on 32 GPUs).
+fn main() {
+    for (model, rows) in mario_bench::experiments::table5::run() {
+        println!("{}", mario_bench::experiments::table5::render(&model, &rows));
+    }
+}

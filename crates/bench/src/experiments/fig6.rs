@@ -1,0 +1,116 @@
+//! Figure 6: training throughput on GPT3-1.6B and LLaMA2-3B with an
+//! 8-GPU pipeline, across V/X/W × {base, ckpt, ovlp, lmbs}, global batch
+//! 128. (W runs half the micro-batch size of V/X so all schemes fit the
+//! same global batch — §6.1.)
+
+use crate::harness::{run_config, ConfigResult, ExpConfig, Variant};
+use crate::table::Table;
+use mario_ir::SchemeKind;
+use mario_model::ModelConfig;
+
+/// Runs the V/X/W × variant grid for one model.
+pub fn grid(model: &ModelConfig, pp: u32, gbs: u32, mbs_vx: u32) -> Vec<ConfigResult> {
+    let mut out = Vec::new();
+    let schemes = [
+        (SchemeKind::OneFOneB, mbs_vx),
+        (SchemeKind::Chimera, mbs_vx),
+        (SchemeKind::Interleave { chunks: 2 }, (mbs_vx / 2).max(1)),
+    ];
+    for (scheme, mbs) in schemes {
+        for v in Variant::ALL {
+            let cfg = ExpConfig::pipeline(model.clone(), scheme, pp, mbs, gbs).variant(v);
+            out.push(run_config(&cfg));
+        }
+    }
+    out
+}
+
+/// The Fig. 6 experiment: both small models on 8 GPUs.
+pub fn run() -> Vec<(String, Vec<ConfigResult>)> {
+    vec![
+        (
+            "GPT3-1.6B".into(),
+            grid(&ModelConfig::gpt3_1_6b(), 8, 128, 2),
+        ),
+        (
+            "LLaMA2-3B".into(),
+            grid(&ModelConfig::llama2_3b(), 8, 128, 2),
+        ),
+    ]
+}
+
+/// Renders one model's grid.
+pub fn render(model: &str, rows: &[ConfigResult]) -> String {
+    let mut t = Table::new(&[
+        "Config",
+        "Micro BS",
+        "Throughput (samples/s)",
+        "Speedup vs base",
+        "OOM",
+    ]);
+    let mut base_tp = 0.0;
+    for r in rows {
+        if r.label.ends_with("base") {
+            base_tp = r.throughput;
+        }
+        t.row(vec![
+            r.label.clone(),
+            r.micro_bs.to_string(),
+            format!("{:.2}", r.throughput),
+            if base_tp > 0.0 {
+                format!("{:.2}x", r.throughput / base_tp)
+            } else {
+                "-".into()
+            },
+            if r.oom { "yes".into() } else { "no".into() },
+        ]);
+    }
+    format!("{model} (8 GPUs, gbs 128)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reduced-size smoke test (the full grid runs in the binary).
+    #[test]
+    fn small_grid_has_paper_shape() {
+        let rows = grid(&ModelConfig::gpt3_1_6b(), 4, 32, 2);
+        assert_eq!(rows.len(), 12);
+        // Per scheme: ckpt is the slowest variant and lmbs beats ovlp.
+        for chunk in rows.chunks(4) {
+            let (base, ckpt, ovlp, lmbs) = (&chunk[0], &chunk[1], &chunk[2], &chunk[3]);
+            assert!(base.label.ends_with("base"));
+            assert!(
+                ckpt.throughput < base.throughput,
+                "{}: ckpt {} !< base {}",
+                ckpt.label,
+                ckpt.throughput,
+                base.throughput
+            );
+            assert!(
+                ovlp.throughput > ckpt.throughput,
+                "{}: ovlp {} !> ckpt {}",
+                ovlp.label,
+                ovlp.throughput,
+                ckpt.throughput
+            );
+            assert!(
+                lmbs.throughput > ovlp.throughput,
+                "{}: lmbs {} !> ovlp {}",
+                lmbs.label,
+                lmbs.throughput,
+                ovlp.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_configs() {
+        let rows = grid(&ModelConfig::gpt3_1_6b(), 4, 32, 2);
+        let s = render("GPT3-1.6B", &rows);
+        for l in ["V-base", "X-ovlp", "W-lmbs"] {
+            assert!(s.contains(l), "{s}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 7: per-device peak memory footprint — checkpointing both
+//! *reduces* and *balances* memory across the pipeline.
+
+use crate::harness::{run_config, ConfigResult, ExpConfig, Variant};
+use crate::table::{gb, Table};
+use mario_ir::SchemeKind;
+use mario_model::ModelConfig;
+
+/// Per-device profiles for one model/scheme across the four variants.
+pub fn profiles(
+    model: &ModelConfig,
+    scheme: SchemeKind,
+    pp: u32,
+    mbs: u32,
+    gbs: u32,
+) -> Vec<ConfigResult> {
+    Variant::ALL
+        .iter()
+        .map(|&v| {
+            run_config(
+                &ExpConfig::pipeline(model.clone(), scheme, pp, mbs, gbs).variant(v),
+            )
+        })
+        .collect()
+}
+
+/// The Fig. 7 experiment: GPT3-1.6B / LLaMA2-3B on 8 GPUs and the 13B
+/// models on 32 GPUs, 1F1B profiles (the other schemes are in fig6/table5).
+pub fn run() -> Vec<(String, Vec<ConfigResult>)> {
+    vec![
+        (
+            "GPT3-1.6B / 8 GPUs".into(),
+            profiles(&ModelConfig::gpt3_1_6b(), SchemeKind::OneFOneB, 8, 2, 128),
+        ),
+        (
+            "LLaMA2-3B / 8 GPUs".into(),
+            profiles(&ModelConfig::llama2_3b(), SchemeKind::OneFOneB, 8, 2, 128),
+        ),
+        (
+            "GPT3-13B / 32 GPUs".into(),
+            profiles(&ModelConfig::gpt3_13b(), SchemeKind::OneFOneB, 32, 2, 128),
+        ),
+        (
+            "LLaMA2-13B / 32 GPUs".into(),
+            profiles(&ModelConfig::llama2_13b(), SchemeKind::OneFOneB, 32, 2, 128),
+        ),
+    ]
+}
+
+/// Renders one profile set: device index columns, one row per variant.
+pub fn render(title: &str, rows: &[ConfigResult]) -> String {
+    let devices = rows[0].per_device_peak.len();
+    let step = (devices / 8).max(1); // show at most 8 columns
+    let mut header: Vec<String> = vec!["Config".into()];
+    let shown: Vec<usize> = (0..devices).step_by(step).collect();
+    header.extend(shown.iter().map(|d| format!("d{d} (GB)")));
+    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for r in rows {
+        let mut cells = vec![r.label.clone()];
+        cells.extend(shown.iter().map(|&d| gb(r.per_device_peak[d])));
+        t.row(cells);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Imbalance metric: `max / min` of per-device peaks.
+pub fn imbalance(r: &ConfigResult) -> f64 {
+    let (lo, hi) = r.mem_range();
+    hi as f64 / lo.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mario_balances_memory_across_devices() {
+        let rows = profiles(&ModelConfig::gpt3_1_6b(), SchemeKind::OneFOneB, 8, 2, 64);
+        let base = &rows[0];
+        let ovlp = &rows[2];
+        assert!(imbalance(base) > 1.5, "base imbalance {}", imbalance(base));
+        assert!(
+            imbalance(ovlp) < imbalance(base) / 1.2,
+            "ovlp {} vs base {}",
+            imbalance(ovlp),
+            imbalance(base)
+        );
+    }
+
+    #[test]
+    fn base_memory_declines_along_the_pipeline() {
+        let rows = profiles(&ModelConfig::gpt3_1_6b(), SchemeKind::OneFOneB, 8, 2, 64);
+        let peaks = &rows[0].per_device_peak;
+        // First device holds the most on-the-fly activations (modulo the
+        // embedding extras on both ends).
+        assert!(peaks[0] > peaks[6], "{peaks:?}");
+    }
+
+    #[test]
+    fn lmbs_stays_more_balanced_than_base() {
+        let rows = profiles(&ModelConfig::gpt3_1_6b(), SchemeKind::OneFOneB, 8, 2, 64);
+        assert!(imbalance(&rows[3]) < imbalance(&rows[0]));
+    }
+
+    #[test]
+    fn render_has_one_row_per_variant() {
+        let rows = profiles(&ModelConfig::gpt3_1_6b(), SchemeKind::OneFOneB, 8, 2, 64);
+        let s = render("test", &rows);
+        assert_eq!(s.lines().count(), 1 + 2 + 4);
+    }
+}

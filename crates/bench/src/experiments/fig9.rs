@@ -1,0 +1,181 @@
+//! Figure 9: sequence-length scaling on GPT3-1.6B with 16 GPUs — the
+//! longest sequence each configuration trains before OOM, sweeping seqlen
+//! upward by 64 from 1024. Configurations: (a) PP:8 TP:1, (b) PP:8 TP:2,
+//! (c) PP:8 TP:2 + Mario. Micro-batch 1, global batch = 2 × stages = 16.
+
+use crate::table::Table;
+use mario_core::passes::{run_graph_tuner, GraphTunerOptions};
+use mario_core::simulator::simulate_memory;
+use mario_ir::{SchemeKind, Topology};
+use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
+use mario_schedules::{generate, ScheduleConfig};
+use serde::{Deserialize, Serialize};
+
+const PP: u32 = 8;
+const MICROS: u32 = 16;
+const STEP: u32 = 64;
+const START: u32 = 1024;
+const LIMIT: u32 = 65_536;
+
+/// One Fig. 9 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqConfig {
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Mario checkpointing on.
+    pub mario: bool,
+}
+
+impl SeqConfig {
+    /// Label like `PP:8 TP:2 (Mario)`.
+    pub fn label(&self) -> String {
+        format!(
+            "PP:{PP} TP:{}{}",
+            self.tp,
+            if self.mario { " (Mario)" } else { "" }
+        )
+    }
+}
+
+/// Does the configuration fit device memory at `seqlen`?
+pub fn fits(cfg: SeqConfig, seqlen: u32) -> bool {
+    let model = ModelConfig::gpt3_1_6b().with_seqlen(seqlen);
+    let gpu = GpuSpec::a100_40g();
+    let topo = Topology::new(SchemeKind::OneFOneB, PP);
+    let setup = TrainSetup::pipeline(model, gpu.clone(), topo, 1).with_tp(cfg.tp);
+    let cost = AnalyticCost::new(&setup);
+    let mut schedule = generate(ScheduleConfig::new(SchemeKind::OneFOneB, PP, MICROS));
+    if cfg.mario {
+        run_graph_tuner(
+            &mut schedule,
+            &cost,
+            GraphTunerOptions {
+                prepose: false,
+                ..GraphTunerOptions::mario()
+            },
+        );
+    }
+    simulate_memory(&schedule, &cost, Some(gpu.mem_bytes)).oom.is_none()
+}
+
+/// The longest feasible sequence for `cfg`: exponential probe, then a
+/// linear refinement at the paper's 64-token granularity.
+pub fn max_seqlen(cfg: SeqConfig) -> Option<u32> {
+    if !fits(cfg, START) {
+        return None;
+    }
+    let mut lo = START;
+    while lo * 2 <= LIMIT && fits(cfg, lo * 2) {
+        lo *= 2;
+    }
+    let mut hi = (lo * 2).min(LIMIT);
+    // Binary search down to one STEP.
+    while hi - lo > STEP {
+        let mid = lo + (hi - lo) / 2 / STEP * STEP;
+        if mid == lo {
+            break;
+        }
+        if fits(cfg, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// The three Fig. 9 configurations.
+pub fn run() -> Vec<(SeqConfig, Option<u32>)> {
+    [
+        SeqConfig {
+            tp: 1,
+            mario: false,
+        },
+        SeqConfig {
+            tp: 2,
+            mario: false,
+        },
+        SeqConfig { tp: 2, mario: true },
+    ]
+    .into_iter()
+    .map(|c| (c, max_seqlen(c)))
+    .collect()
+}
+
+/// Renders the results with improvement factors.
+pub fn render(rows: &[(SeqConfig, Option<u32>)]) -> String {
+    let mut t = Table::new(&["Config", "Max seqlen", "vs PP:8 TP:1", "vs PP:8 TP:2"]);
+    let base1 = rows
+        .iter()
+        .find(|(c, _)| c.tp == 1 && !c.mario)
+        .and_then(|&(_, s)| s)
+        .unwrap_or(0);
+    let base2 = rows
+        .iter()
+        .find(|(c, _)| c.tp == 2 && !c.mario)
+        .and_then(|&(_, s)| s)
+        .unwrap_or(0);
+    for (c, s) in rows {
+        let s = s.unwrap_or(0);
+        t.row(vec![
+            c.label(),
+            s.to_string(),
+            if base1 > 0 {
+                format!("{:.2}x", s as f64 / base1 as f64)
+            } else {
+                "-".into()
+            },
+            if base2 > 0 {
+                format!("{:.2}x", s as f64 / base2 as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    format!("Sequence length scaling (GPT3-1.6B, Fig. 9)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mario_extends_seqlen_beyond_tp_alone() {
+        let tp2 = max_seqlen(SeqConfig {
+            tp: 2,
+            mario: false,
+        })
+        .unwrap();
+        let mario = max_seqlen(SeqConfig { tp: 2, mario: true }).unwrap();
+        // Paper: 1.49x average increase over PP:8 TP:2.
+        assert!(
+            mario as f64 / tp2 as f64 > 1.2,
+            "mario {mario} vs tp2 {tp2}"
+        );
+    }
+
+    #[test]
+    fn tp_extends_seqlen_over_pure_pp() {
+        let tp1 = max_seqlen(SeqConfig {
+            tp: 1,
+            mario: false,
+        })
+        .unwrap();
+        let tp2 = max_seqlen(SeqConfig {
+            tp: 2,
+            mario: false,
+        })
+        .unwrap();
+        assert!(tp2 > tp1, "tp2 {tp2} vs tp1 {tp1}");
+    }
+
+    #[test]
+    fn fits_is_monotone() {
+        let c = SeqConfig {
+            tp: 1,
+            mario: false,
+        };
+        assert!(fits(c, 1024));
+        assert!(!fits(c, LIMIT));
+    }
+}

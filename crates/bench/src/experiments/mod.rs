@@ -1,0 +1,14 @@
+//! One module per paper table/figure; each exposes `run()` returning
+//! structured rows and `render()` producing the printed artifact.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table5;

@@ -1,0 +1,162 @@
+//! Table 1: weight and activation memory across pipeline schemes, without
+//! and with Mario.
+//!
+//! Activation memory is measured in units of `M_θ` (one micro-batch's full
+//! activations on one stage) by running the memory simulator with the unit
+//! cost model; the measured per-device range is compared against the
+//! paper's closed forms.
+
+use crate::table::Table;
+use mario_core::passes::{run_graph_tuner, GraphTunerOptions};
+use mario_core::simulator::simulate_memory;
+use mario_ir::{SchemeKind, UnitCost};
+use mario_schedules::{generate, ScheduleConfig};
+use serde::{Deserialize, Serialize};
+
+/// One Table 1 row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Scheme name.
+    pub scheme: String,
+    /// Weight replicas per device (1 or 2).
+    pub weight_replicas: u32,
+    /// Measured activation peak range `[min, max]` in `M_θ` units.
+    pub act_range: (u64, u64),
+    /// Paper's closed-form range in `M_θ` units.
+    pub paper_range: (u64, u64),
+    /// Measured peak with Mario, in `M_θ` units (max across devices).
+    pub act_mario: u64,
+    /// Paper's Mario value in `M_θ` units (`M_θ` or `M_θ/2` ⇒ 1 here; the
+    /// `/2` refers to per-chunk stages being half-size).
+    pub paper_mario: u64,
+}
+
+/// Measures one scheme at `(devices, micros)`.
+fn measure(scheme: SchemeKind, devices: u32, micros: u32) -> Row {
+    let cost = UnitCost::paper_grid(); // act = 1 unit, ckpt = 0
+    let base = generate(ScheduleConfig::new(scheme, devices, micros));
+    let base_mem = simulate_memory(&base, &cost, None);
+
+    let mut mario = base.clone();
+    run_graph_tuner(
+        &mut mario,
+        &cost,
+        GraphTunerOptions {
+            prepose: false, // memory bound is what Table 1 states
+            ..GraphTunerOptions::mario()
+        },
+    );
+    let mario_mem = simulate_memory(&mario, &cost, None);
+
+    let d = devices as u64;
+    let n = micros as u64;
+    let (paper_range, weight_replicas) = match scheme {
+        SchemeKind::GPipe => ((n, n), 1),
+        SchemeKind::OneFOneB => ((1, d), 1),
+        // Interleave with v=2 in per-chunk (half-stage) units: [D+1, 3D-2]
+        // halves; our unit is one *chunk* stage's activations, so the count
+        // is directly comparable.
+        SchemeKind::Interleave { .. } => ((d + 1, 3 * d - 2), 1),
+        SchemeKind::Chimera => ((d / 2 + 1, d), 2),
+        // Hanayo's [(D+1)/2, D]·M_θ expressed in per-chunk half-units
+        // (each device holds two half-size wave stages): [D+1, 2D].
+        SchemeKind::Wave { .. } => ((d + 1, 2 * d), 1),
+    };
+    Row {
+        scheme: format!("{scheme:?}"),
+        weight_replicas,
+        act_range: (base_mem.min_peak(), base_mem.max_peak()),
+        paper_range,
+        act_mario: mario_mem.max_peak(),
+        paper_mario: 1,
+    }
+}
+
+/// Reproduces Table 1 for `devices` devices and `2 × devices` micro-batches.
+pub fn run(devices: u32) -> Vec<Row> {
+    let micros = 2 * devices;
+    [
+        SchemeKind::GPipe,
+        SchemeKind::OneFOneB,
+        SchemeKind::Interleave { chunks: 2 },
+        SchemeKind::Chimera,
+        SchemeKind::Wave { chunks: 2 },
+    ]
+    .into_iter()
+    .map(|s| measure(s, devices, micros))
+    .collect()
+}
+
+/// Renders the rows.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(&[
+        "Scheme",
+        "Weights",
+        "Act mem (measured)",
+        "Act mem (paper)",
+        "Act w/ Mario",
+        "Paper w/ Mario",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.scheme.clone(),
+            format!("{}x Mw", r.weight_replicas),
+            format!("[{}, {}] Mθ", r.act_range.0, r.act_range.1),
+            format!("[{}, {}] Mθ", r.paper_range.0, r.paper_range.1),
+            format!("{} Mθ", r.act_mario),
+            format!("{} Mθ", r.paper_mario),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_ranges_match_paper_closed_forms() {
+        for d in [4u32, 8] {
+            for r in run(d) {
+                // GPipe and 1F1B are exact; the derived schemes must sit
+                // within the paper's bounds.
+                match r.scheme.as_str() {
+                    "GPipe" => assert_eq!(r.act_range, r.paper_range, "{r:?}"),
+                    "OneFOneB" => assert_eq!(r.act_range, r.paper_range, "{r:?}"),
+                    _ => {
+                        // Megatron's interleaved warmup holds one more
+                        // chunk-activation than the paper's idealized
+                        // 3D-2 bound (the steady state issues its first
+                        // forward before the first backward retires), so
+                        // allow +1.
+                        assert!(
+                            r.act_range.1 <= r.paper_range.1 + 1,
+                            "max exceeds paper bound: {r:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mario_brings_every_scheme_to_one_replica() {
+        for r in run(8) {
+            assert!(
+                r.act_mario <= 2,
+                "{}: Mario peak {} Mθ (expected ≈1)",
+                r.scheme,
+                r.act_mario
+            );
+        }
+    }
+
+    #[test]
+    fn render_includes_every_scheme() {
+        let rows = run(4);
+        let s = render(&rows);
+        for name in ["GPipe", "OneFOneB", "Chimera", "Interleave", "Wave"] {
+            assert!(s.contains(name), "{s}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-device execution: walks one instruction list, advancing a virtual
+//! clock and a memory ledger, communicating through virtual-time links.
+
+use crate::error::EmuError;
+use crate::link::{Header, LinkError, RecvHalf, SendHalf};
+use mario_ir::exec::MsgClass;
+use mario_ir::{
+    CostModel, DeviceId, DeviceProgram, Instr, InstrKind, MemLedger, MemoryRules, Nanos,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One executed instruction with its virtual start/end times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// The executing device.
+    pub device: DeviceId,
+    /// Rendered instruction.
+    pub instr: String,
+    /// Virtual start time (ns).
+    pub start: Nanos,
+    /// Virtual end time (ns).
+    pub end: Nanos,
+}
+
+/// What a device reports after finishing.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Final virtual clock.
+    pub clock: Nanos,
+    /// Peak memory footprint (bytes).
+    pub peak_mem: u64,
+    /// Live dynamic allocations remaining (should be 0 after a clean
+    /// iteration).
+    pub leaked: usize,
+    /// Recorded events, if timeline recording was enabled.
+    pub timeline: Vec<TimelineEvent>,
+}
+
+/// The per-device runtime state.
+pub struct DeviceRuntime<'a> {
+    device: DeviceId,
+    cost: &'a dyn CostModel,
+    rules: &'a MemoryRules,
+    ledger: MemLedger,
+    clock: Nanos,
+    out: HashMap<(DeviceId, MsgClass, mario_ir::PartId), SendHalf>,
+    inp: HashMap<(DeviceId, MsgClass, mario_ir::PartId), RecvHalf>,
+    rng: StdRng,
+    jitter: f64,
+    straggler: f64,
+    record: bool,
+    timeline: Vec<TimelineEvent>,
+}
+
+impl<'a> DeviceRuntime<'a> {
+    /// Creates a runtime for `device`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        device: DeviceId,
+        cost: &'a dyn CostModel,
+        rules: &'a MemoryRules,
+        mem_capacity: Option<u64>,
+        out: HashMap<(DeviceId, MsgClass, mario_ir::PartId), SendHalf>,
+        inp: HashMap<(DeviceId, MsgClass, mario_ir::PartId), RecvHalf>,
+        jitter: f64,
+        straggler_spread: f64,
+        seed: u64,
+        record: bool,
+    ) -> Self {
+        // A fixed per-device slowdown in [1, 1+spread], derived from the
+        // seed so runs stay deterministic.
+        let mix = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((device.0 as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let unit = (mix >> 11) as f64 / (1u64 << 53) as f64;
+        let straggler = 1.0 + straggler_spread * unit;
+        Self {
+            device,
+            cost,
+            rules,
+            ledger: MemLedger::new(cost.static_mem(device), mem_capacity),
+            clock: 0,
+            out,
+            inp,
+            rng: StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(device.0 as u64 + 1))),
+            jitter,
+            straggler,
+            record,
+            timeline: Vec::new(),
+        }
+    }
+
+    fn jittered(&mut self, ns: Nanos) -> Nanos {
+        if self.jitter == 0.0 && self.straggler == 1.0 {
+            return ns;
+        }
+        let f = if self.jitter == 0.0 {
+            1.0
+        } else {
+            1.0 + self.rng.gen_range(-2.0 * self.jitter..=2.0 * self.jitter)
+        };
+        (ns as f64 * f * self.straggler).round() as Nanos
+    }
+
+    fn link_err(&self, e: LinkError, pc: usize, instr: &Instr) -> EmuError {
+        match e {
+            LinkError::Timeout => EmuError::DeadlockSuspected {
+                device: self.device,
+                pc,
+                instr: instr.to_string(),
+            },
+            LinkError::Disconnected => EmuError::PeerFailed {
+                device: self.device,
+                pc,
+            },
+            LinkError::Mismatch(h) => EmuError::CommMismatch {
+                device: self.device,
+                pc,
+                detail: format!("expected {instr}, got {h:?}"),
+            },
+        }
+    }
+
+    fn apply_mem(&mut self, pc: usize, instr: &Instr) -> Result<(), EmuError> {
+        self.rules
+            .apply(&mut self.ledger, self.cost, self.device, instr)
+            .map_err(|cause| EmuError::Oom {
+                device: self.device,
+                pc,
+                instr: instr.to_string(),
+                cause,
+            })
+    }
+
+    /// Executes one full pass over `program`.
+    pub fn run_iteration(&mut self, program: &DeviceProgram) -> Result<(), EmuError> {
+        for (pc, instr) in program.iter() {
+            let start = self.clock;
+            match instr.kind {
+                InstrKind::Forward { .. }
+                | InstrKind::Backward
+                | InstrKind::BackwardInput
+                | InstrKind::BackwardWeight
+                | InstrKind::Recompute => {
+                    let dur = self.jittered(self.cost.duration(self.device, instr));
+                    self.clock += dur;
+                    self.apply_mem(pc, instr)?;
+                }
+                InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => {
+                    let class = if matches!(instr.kind, InstrKind::SendAct { .. }) {
+                        MsgClass::Act
+                    } else {
+                        MsgClass::Grad
+                    };
+                    self.clock += self.cost.p2p_launch_overhead();
+                    let header = Header {
+                        class,
+                        micro: instr.micro,
+                        part: instr.part,
+                    };
+                    let bytes = self.cost.boundary_bytes(self.device, instr.part);
+                    let half = self
+                        .out
+                        .get_mut(&(peer, class, instr.part))
+                        .unwrap_or_else(|| panic!("{} has no link to {peer:?}", self.device));
+                    match half.send(header, bytes, self.clock) {
+                        Ok(t) => self.clock = t,
+                        Err(e) => return Err(self.link_err(e, pc, instr)),
+                    }
+                    self.apply_mem(pc, instr)?;
+                }
+                InstrKind::RecvAct { peer } | InstrKind::RecvGrad { peer } => {
+                    let class = if matches!(instr.kind, InstrKind::RecvAct { .. }) {
+                        MsgClass::Act
+                    } else {
+                        MsgClass::Grad
+                    };
+                    self.clock += self.cost.p2p_launch_overhead();
+                    let expect = Header {
+                        class,
+                        micro: instr.micro,
+                        part: instr.part,
+                    };
+                    let cost = self.cost;
+                    let half = self
+                        .inp
+                        .get_mut(&(peer, class, instr.part))
+                        .unwrap_or_else(|| panic!("{} has no link from {peer:?}", self.device));
+                    let me = self.device;
+                    match half.recv(expect, self.clock, |b| {
+                        cost.p2p_time_between(peer, me, b)
+                    }) {
+                        Ok(t) => self.clock = t,
+                        Err(e) => return Err(self.link_err(e, pc, instr)),
+                    }
+                }
+                InstrKind::AllReduce => {
+                    self.clock += self.cost.allreduce_time(self.device);
+                }
+                InstrKind::OptimizerStep => {
+                    self.clock += self.cost.optimizer_time(self.device);
+                }
+            }
+            if self.record {
+                self.timeline.push(TimelineEvent {
+                    device: self.device,
+                    instr: instr.to_string(),
+                    start,
+                    end: self.clock,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the run and reports.
+    pub fn finish(self) -> DeviceReport {
+        DeviceReport {
+            clock: self.clock,
+            peak_mem: self.ledger.peak(),
+            leaked: self.ledger.live_count(),
+            timeline: self.timeline,
+        }
+    }
+
+    /// Current virtual clock (tests).
+    pub fn clock(&self) -> Nanos {
+        self.clock
+    }
+}

@@ -1,0 +1,116 @@
+//! Emulator error types.
+
+use mario_ir::{DeviceId, OomError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a cluster run failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmuError {
+    /// A device exceeded its memory capacity.
+    Oom {
+        /// The faulting device.
+        device: DeviceId,
+        /// Instruction index within the device program.
+        pc: usize,
+        /// The failing instruction (rendered).
+        instr: String,
+        /// Ledger details.
+        cause: OomError,
+    },
+    /// A p2p receive got a message with the wrong identity.
+    CommMismatch {
+        /// The receiving device.
+        device: DeviceId,
+        /// Instruction index within the device program.
+        pc: usize,
+        /// What was expected vs found.
+        detail: String,
+    },
+    /// A blocking p2p operation timed out — the schedule deadlocks.
+    DeadlockSuspected {
+        /// The blocked device.
+        device: DeviceId,
+        /// Instruction index within the device program.
+        pc: usize,
+        /// The blocked instruction (rendered).
+        instr: String,
+    },
+    /// A peer device aborted, closing its channels.
+    PeerFailed {
+        /// The device observing the failure.
+        device: DeviceId,
+        /// Instruction index within the device program.
+        pc: usize,
+    },
+}
+
+impl EmuError {
+    /// The device that raised the error.
+    pub fn device(&self) -> DeviceId {
+        match self {
+            EmuError::Oom { device, .. }
+            | EmuError::CommMismatch { device, .. }
+            | EmuError::DeadlockSuspected { device, .. }
+            | EmuError::PeerFailed { device, .. } => *device,
+        }
+    }
+
+    /// True for out-of-memory failures (the condition the schedule tuner
+    /// penalizes, §5.3).
+    pub fn is_oom(&self) -> bool {
+        matches!(self, EmuError::Oom { .. })
+    }
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Oom {
+                device,
+                pc,
+                instr,
+                cause,
+            } => write!(f, "{device} OOM at #{pc} ({instr}): {cause}"),
+            EmuError::CommMismatch { device, pc, detail } => {
+                write!(f, "{device} comm mismatch at #{pc}: {detail}")
+            }
+            EmuError::DeadlockSuspected { device, pc, instr } => {
+                write!(f, "{device} blocked at #{pc} ({instr}): deadlock suspected")
+            }
+            EmuError::PeerFailed { device, pc } => {
+                write!(f, "{device} at #{pc}: peer device failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_classification() {
+        let e = EmuError::Oom {
+            device: DeviceId(3),
+            pc: 7,
+            instr: "F0^0".into(),
+            cause: OomError {
+                requested: 10,
+                in_use: 95,
+                capacity: 100,
+            },
+        };
+        assert!(e.is_oom());
+        assert_eq!(e.device(), DeviceId(3));
+        assert!(e.to_string().contains("OOM"));
+        let d = EmuError::DeadlockSuspected {
+            device: DeviceId(0),
+            pc: 0,
+            instr: "RA0^0<d1".into(),
+        };
+        assert!(!d.is_oom());
+    }
+}

@@ -1,0 +1,26 @@
+//! # mario-cluster — a multi-threaded virtual-time cluster emulator
+//!
+//! The execution substrate substituting for the paper's 64-GPU testbed:
+//! every device is an OS thread executing its instruction list in order;
+//! point-to-point transfers travel over bounded virtual-time links
+//! ([`link`]) whose acknowledgement protocol reproduces blocking-p2p
+//! semantics deterministically; memory is tracked per device with OOM
+//! faults using the same lifecycle rules as the offline simulator
+//! ([`mario_ir::MemoryRules`]); a real-time watchdog converts stalls into
+//! deadlock reports.
+//!
+//! Timing is *virtual*: per-instruction latencies come from a
+//! [`mario_ir::CostModel`] (optionally perturbed by seeded jitter), and all
+//! clock arithmetic depends only on message timestamps, so results are
+//! bit-identical across thread interleavings.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod error;
+pub mod link;
+pub mod runner;
+
+pub use device::{DeviceReport, TimelineEvent};
+pub use error::EmuError;
+pub use runner::{run, EmulatorConfig, RunReport};

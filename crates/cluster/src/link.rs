@@ -1,0 +1,259 @@
+//! Virtual-time point-to-point links between device threads.
+//!
+//! Each directed `(sender, receiver, message-class)` pair owns one link: a
+//! data channel carrying `(header, bytes, send-timestamp)` packets and an
+//! acknowledgement channel carrying dequeue timestamps back. The ack
+//! protocol realizes bounded-buffer blocking *in virtual time* while the
+//! threads run concurrently in real time:
+//!
+//! * the sender may have at most `capacity` un-acknowledged packets; one
+//!   more send first waits for the oldest ack and advances its virtual
+//!   clock to that dequeue time (the buffer was full until then);
+//! * the receiver stamps each packet with
+//!   `max(own clock, sent_at + transfer_time)` and acks that time.
+//!
+//! Because every clock update depends only on packet timestamps — never on
+//! real-time arrival order — the emulated timeline is deterministic under
+//! any thread interleaving (the property that makes the emulator usable as
+//! reproducible "ground truth" for Fig. 10).
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use mario_ir::exec::MsgClass;
+use mario_ir::{MicroId, Nanos, PartId};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A message header: identity checked on receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Activation or gradient.
+    pub class: MsgClass,
+    /// Micro-batch id.
+    pub micro: MicroId,
+    /// Producer-side partition id.
+    pub part: PartId,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Identity.
+    pub header: Header,
+    /// Payload size (drives transfer time on the receiving side).
+    pub bytes: u64,
+    /// Sender virtual clock when the send was issued.
+    pub sent_at: Nanos,
+}
+
+/// Outcome of a blocking link operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// No progress within the watchdog timeout: deadlock suspected.
+    Timeout,
+    /// The peer hung up (failed or finished unexpectedly).
+    Disconnected,
+    /// Received packet identity does not match the expectation.
+    Mismatch(Header),
+}
+
+/// Sending half of a link.
+pub struct SendHalf {
+    data: Sender<Packet>,
+    ack: Receiver<Nanos>,
+    pending: VecDeque<()>,
+    capacity: usize,
+    timeout: Duration,
+}
+
+/// Receiving half of a link.
+pub struct RecvHalf {
+    data: Receiver<Packet>,
+    ack: Sender<Nanos>,
+    timeout: Duration,
+}
+
+/// Creates a link with the given buffer `capacity` and watchdog `timeout`.
+pub fn link(capacity: usize, timeout: Duration) -> (SendHalf, RecvHalf) {
+    assert!(capacity >= 1);
+    // Data channel sized to capacity: the ack protocol guarantees at most
+    // `capacity` packets are ever in flight, so sends never block in real
+    // time — all blocking is virtual (via acks).
+    let (data_tx, data_rx) = bounded(capacity);
+    let (ack_tx, ack_rx) = bounded(capacity);
+    (
+        SendHalf {
+            data: data_tx,
+            ack: ack_rx,
+            pending: VecDeque::new(),
+            capacity,
+            timeout,
+        },
+        RecvHalf {
+            data: data_rx,
+            ack: ack_tx,
+            timeout,
+        },
+    )
+}
+
+impl SendHalf {
+    /// Issues a send at virtual time `now`; returns the sender's clock after
+    /// the operation (delayed if the buffer was full).
+    pub fn send(&mut self, header: Header, bytes: u64, mut now: Nanos) -> Result<Nanos, LinkError> {
+        if self.pending.len() == self.capacity {
+            let dequeued_at = match self.ack.recv_timeout(self.timeout) {
+                Ok(t) => t,
+                Err(RecvTimeoutError::Timeout) => return Err(LinkError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(LinkError::Disconnected),
+            };
+            self.pending.pop_front();
+            now = now.max(dequeued_at);
+        }
+        let pkt = Packet {
+            header,
+            bytes,
+            sent_at: now,
+        };
+        self.data.send(pkt).map_err(|_| LinkError::Disconnected)?;
+        self.pending.push_back(());
+        Ok(now)
+    }
+
+    /// Drains outstanding acks at the end of an iteration so virtual time
+    /// stays consistent across iterations.
+    pub fn drain(&mut self, mut now: Nanos) -> Result<Nanos, LinkError> {
+        while self.pending.pop_front().is_some() {
+            let t = match self.ack.recv_timeout(self.timeout) {
+                Ok(t) => t,
+                Err(RecvTimeoutError::Timeout) => return Err(LinkError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(LinkError::Disconnected),
+            };
+            now = now.max(t);
+        }
+        Ok(now)
+    }
+}
+
+impl RecvHalf {
+    /// Blocks for the next packet, checks identity, and returns the
+    /// receiver's clock after the message is available:
+    /// `max(now, sent_at + transfer_ns(bytes))`.
+    pub fn recv(
+        &mut self,
+        expect: Header,
+        now: Nanos,
+        transfer_ns: impl Fn(u64) -> Nanos,
+    ) -> Result<Nanos, LinkError> {
+        let pkt = match self.data.recv_timeout(self.timeout) {
+            Ok(p) => p,
+            Err(RecvTimeoutError::Timeout) => return Err(LinkError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => return Err(LinkError::Disconnected),
+        };
+        if pkt.header != expect {
+            return Err(LinkError::Mismatch(pkt.header));
+        }
+        let arrival = now.max(pkt.sent_at + transfer_ns(pkt.bytes));
+        // The ack channel has the same capacity as data and the sender reads
+        // one ack per extra send, so this never blocks; a sender that has
+        // already finished (dropped its ack end) simply no longer cares.
+        let _ = self.ack.send(arrival);
+        Ok(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn hdr(m: u32) -> Header {
+        Header {
+            class: MsgClass::Act,
+            micro: MicroId(m),
+            part: PartId(0),
+        }
+    }
+
+    #[test]
+    fn virtual_time_propagates_through_transfer() {
+        let (mut tx, mut rx) = link(1, Duration::from_secs(2));
+        let s = thread::spawn(move || {
+            let t = tx.send(hdr(0), 100, 1_000).unwrap();
+            assert_eq!(t, 1_000);
+        });
+        // Receiver is "ahead" in its own time; arrival is the max.
+        let t = rx.recv(hdr(0), 500, |b| b * 10).unwrap();
+        assert_eq!(t, 2_000); // max(500, 1000 + 100*10)
+        s.join().unwrap();
+    }
+
+    #[test]
+    fn capacity_one_delays_second_send_to_dequeue_time() {
+        let (mut tx, mut rx) = link(1, Duration::from_secs(2));
+        let s = thread::spawn(move || {
+            let t1 = tx.send(hdr(0), 0, 100).unwrap();
+            assert_eq!(t1, 100);
+            // Second send must wait until the receiver dequeued msg 0 at
+            // t=5000.
+            let t2 = tx.send(hdr(1), 0, 200).unwrap();
+            assert_eq!(t2, 5_000);
+        });
+        let t = rx.recv(hdr(0), 5_000, |_| 0).unwrap();
+        assert_eq!(t, 5_000);
+        let t = rx.recv(hdr(1), t, |_| 0).unwrap();
+        assert_eq!(t, 5_000);
+        s.join().unwrap();
+    }
+
+    #[test]
+    fn capacity_two_allows_two_eager_sends() {
+        let (mut tx, mut rx) = link(2, Duration::from_secs(2));
+        let s = thread::spawn(move || {
+            assert_eq!(tx.send(hdr(0), 0, 10).unwrap(), 10);
+            assert_eq!(tx.send(hdr(1), 0, 20).unwrap(), 20); // no wait
+            let t3 = tx.send(hdr(2), 0, 30).unwrap();
+            assert_eq!(t3, 1_000); // waits for first dequeue
+        });
+        assert_eq!(rx.recv(hdr(0), 1_000, |_| 0).unwrap(), 1_000);
+        assert_eq!(rx.recv(hdr(1), 1_000, |_| 0).unwrap(), 1_000);
+        assert_eq!(rx.recv(hdr(2), 1_000, |_| 0).unwrap(), 1_000);
+        s.join().unwrap();
+    }
+
+    #[test]
+    fn mismatch_is_detected() {
+        let (mut tx, mut rx) = link(1, Duration::from_secs(2));
+        tx.send(hdr(7), 0, 0).unwrap();
+        let err = rx.recv(hdr(0), 0, |_| 0).unwrap_err();
+        assert!(matches!(err, LinkError::Mismatch(h) if h.micro == MicroId(7)));
+    }
+
+    #[test]
+    fn recv_times_out_when_nothing_is_sent() {
+        let (_tx, mut rx) = link(1, Duration::from_millis(50));
+        let err = rx.recv(hdr(0), 0, |_| 0).unwrap_err();
+        assert_eq!(err, LinkError::Timeout);
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let (tx, mut rx) = link(1, Duration::from_secs(2));
+        drop(tx);
+        let err = rx.recv(hdr(0), 0, |_| 0).unwrap_err();
+        assert_eq!(err, LinkError::Disconnected);
+    }
+
+    #[test]
+    fn drain_collects_outstanding_acks() {
+        let (mut tx, mut rx) = link(2, Duration::from_secs(2));
+        let s = thread::spawn(move || {
+            tx.send(hdr(0), 0, 10).unwrap();
+            tx.send(hdr(1), 0, 20).unwrap();
+            let t = tx.drain(20).unwrap();
+            assert_eq!(t, 900);
+        });
+        rx.recv(hdr(0), 500, |_| 0).unwrap();
+        rx.recv(hdr(1), 900, |_| 0).unwrap();
+        s.join().unwrap();
+    }
+}

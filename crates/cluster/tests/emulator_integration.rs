@@ -1,0 +1,167 @@
+//! Emulator integration: determinism under stress, fault attribution,
+//! timeline consistency, straggler model.
+
+use mario_cluster::{run, EmulatorConfig};
+use mario_ir::{SchemeKind, UnitCost};
+use mario_schedules::{generate, ScheduleConfig};
+use std::time::Duration;
+
+fn unit() -> UnitCost {
+    UnitCost::paper_grid()
+}
+
+#[test]
+fn sixteen_device_run_is_deterministic_under_contention() {
+    // More device threads than cores forces heavy preemption; virtual time
+    // must not care.
+    let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 16, 32));
+    let a = run(&s, &unit(), EmulatorConfig::default()).unwrap();
+    for _ in 0..3 {
+        let b = run(&s, &unit(), EmulatorConfig::default()).unwrap();
+        assert_eq!(a.device_clocks, b.device_clocks);
+    }
+}
+
+#[test]
+fn straggler_spread_slows_the_iteration_deterministically() {
+    let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 8, 16));
+    let exact = run(&s, &unit(), EmulatorConfig::default()).unwrap();
+    let cfg = EmulatorConfig {
+        straggler_spread: 0.10,
+        ..Default::default()
+    };
+    let slow1 = run(&s, &unit(), cfg).unwrap();
+    let slow2 = run(&s, &unit(), cfg).unwrap();
+    assert_eq!(slow1.total_ns, slow2.total_ns, "straggler map is seeded");
+    assert!(slow1.total_ns > exact.total_ns);
+    // Bounded: at most the full spread.
+    assert!((slow1.total_ns as f64) < exact.total_ns as f64 * 1.11);
+}
+
+#[test]
+fn different_seeds_give_different_straggler_maps() {
+    let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 8, 16));
+    let a = run(
+        &s,
+        &unit(),
+        EmulatorConfig {
+            straggler_spread: 0.10,
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let b = run(
+        &s,
+        &unit(),
+        EmulatorConfig {
+            straggler_spread: 0.10,
+            seed: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_ne!(a.device_clocks, b.device_clocks);
+}
+
+#[test]
+fn timeline_events_are_causally_consistent() {
+    let s = generate(ScheduleConfig::new(SchemeKind::Chimera, 4, 8));
+    let r = run(
+        &s,
+        &unit(),
+        EmulatorConfig {
+            channel_capacity: 2,
+            record_timeline: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Per device, events are strictly ordered and contiguous in time.
+    for d in 0..4u32 {
+        let mut last_end = 0;
+        for e in r.timeline.iter().filter(|e| e.device.0 == d) {
+            assert!(e.start >= last_end, "overlap on d{d}: {e:?}");
+            assert!(e.end >= e.start);
+            last_end = e.end;
+        }
+        assert_eq!(last_end, r.device_clocks[d as usize]);
+    }
+}
+
+#[test]
+fn corrupted_schedule_reports_comm_mismatch_not_hang() {
+    // Swap two receives on a device: identities no longer match FIFO order.
+    let mut s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 2, 4));
+    let d1 = s.program_mut(mario_ir::DeviceId(1));
+    let ra: Vec<usize> = d1
+        .iter()
+        .filter(|(_, i)| matches!(i.kind, mario_ir::InstrKind::RecvAct { .. }))
+        .map(|(pos, _)| pos)
+        .collect();
+    d1.shift(ra[1], ra[0]);
+    let err = run(
+        &s,
+        &unit(),
+        EmulatorConfig {
+            watchdog: Duration::from_millis(500),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            mario_cluster::EmuError::CommMismatch { .. }
+                | mario_cluster::EmuError::DeadlockSuspected { .. }
+                | mario_cluster::EmuError::PeerFailed { .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn truncated_program_is_detected_as_deadlock_or_peer_failure() {
+    // Device 1 never sends its gradients: device 0 must not hang forever.
+    let mut s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 2, 2));
+    let d1 = s.program_mut(mario_ir::DeviceId(1));
+    while d1.len() > 2 {
+        d1.remove(d1.len() - 1);
+    }
+    let err = run(
+        &s,
+        &unit(),
+        EmulatorConfig {
+            watchdog: Duration::from_millis(300),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            mario_cluster::EmuError::DeadlockSuspected { .. }
+                | mario_cluster::EmuError::PeerFailed { .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn forty_iterations_accumulate_linearly() {
+    let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+    let one = run(&s, &unit(), EmulatorConfig::default()).unwrap();
+    let many = run(
+        &s,
+        &unit(),
+        EmulatorConfig {
+            iterations: 40,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Steady-state per-iteration time can only be <= the cold first
+    // iteration, and at least the pure compute bound (3N units).
+    assert!(many.iter_ns <= one.total_ns);
+    assert!(many.iter_ns >= 8 * 3 * 1_000);
+}

@@ -1,0 +1,41 @@
+//! # mario-core — the Mario pipeline optimizer (PPoPP '25)
+//!
+//! The paper's primary contribution, reproduced end to end:
+//!
+//! * [`passes`] — the **graph tuner** (§5.1): four optimization passes
+//!   that tessellate activation checkpointing into any pipeline schedule —
+//!   `apply-checkpoint`, `overlap-recompute`, `remove-redundancy` and the
+//!   simulator-guided `prepose-forward`;
+//! * [`simulator`] — the **simulator-based performance model** (§5.2): a
+//!   dynamic-programming timeline simulation plus device-level memory
+//!   simulation, semantically aligned with the cluster emulator;
+//! * [`tuner`] — the **schedule tuner** (§5.3): grid search over
+//!   `(a, b, pp, dp, mbs)` maximizing simulated throughput under the
+//!   device-memory constraint (Equation 1);
+//! * [`viz`] — timeline visualization (Fig. 5): ASCII and SVG Gantt charts;
+//! * [`api`] — the Listing-1 user interface: `optimize` + `run`.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod passes;
+pub mod simulator;
+pub mod trace;
+pub mod tuner;
+pub mod viz;
+
+pub use api::{optimize, run, MarioConfig, Optimized};
+pub use passes::{
+    apply_checkpoint, overlap_recompute, prepose_forward, remove_redundancy, run_graph_tuner,
+    split_backward, GraphTunerOptions, PassStats, PreposeOptions, SplitOptions,
+};
+pub use simulator::{
+    memory_series, simulate, simulate_memory, simulate_timeline, MemReport, MemSeries, SimError,
+    SimEvent, SimOptions, SimReport, SimTimeline,
+};
+pub use trace::{emu_to_chrome_trace, sim_to_chrome_trace, to_chrome_trace, TraceEvent};
+pub use tuner::{
+    admissible, evaluate, tune, Candidate, Evaluation, SchemeChoice, TuneError, TuneResult,
+    TunerConfig,
+};
+pub use viz::{render_ascii, render_svg, VizOptions};

@@ -1,0 +1,99 @@
+//! Pass 1 — *apply-checkpoint* (paper §5.1): replace every paired forward
+//! with a checkpointed forward and insert its recomputation immediately
+//! before the corresponding backward, so only one replica of full
+//! activations is live per stage at a time.
+
+use mario_ir::{Instr, InstrKind, Schedule};
+
+/// Applies checkpointing to every (micro, part) pair on every device.
+/// Returns the number of forwards converted. Idempotent.
+pub fn apply_checkpoint(schedule: &mut Schedule) -> usize {
+    let mut converted = 0;
+    for d in 0..schedule.devices() {
+        let prog = schedule.program_mut(mario_ir::DeviceId(d));
+        let pairs = prog.forward_pairs();
+        for (m, p) in pairs {
+            let f = prog
+                .forward_pos(m, p)
+                .expect("forward_pairs returned a live pair");
+            if prog.instrs()[f].is_ckpt_forward() {
+                continue;
+            }
+            let Some(b) = prog.effective_backward_pos(m, p) else {
+                // No backward on this device (malformed input) — skip.
+                continue;
+            };
+            prog.replace_kind(f, InstrKind::Forward { ckpt: true });
+            // "The distance between RC_i and BW_i should be minimized":
+            // insert the recompute directly before the backward.
+            prog.insert(b, Instr::recompute(m, p));
+            converted += 1;
+        }
+    }
+    converted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mario_ir::{validate, DeviceId, InstrTag, MicroId, PartId, SchemeKind};
+    use mario_schedules::{generate, ScheduleConfig};
+
+    #[test]
+    fn converts_every_forward_and_stays_valid() {
+        let mut s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        let forwards = s.count_tag(InstrTag::Forward);
+        let n = apply_checkpoint(&mut s);
+        assert_eq!(n, forwards);
+        assert_eq!(s.count_ckpt_forwards(), forwards);
+        assert_eq!(s.count_tag(InstrTag::Recompute), forwards);
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn recompute_sits_directly_before_backward() {
+        let mut s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        apply_checkpoint(&mut s);
+        for d in 0..4u32 {
+            let prog = s.program(DeviceId(d));
+            for m in 0..8u32 {
+                let rc = prog.recompute_pos(MicroId(m), PartId(0)).unwrap();
+                let bw = prog.backward_pos(MicroId(m), PartId(0)).unwrap();
+                assert_eq!(rc + 1, bw, "d{d} m{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut s = generate(ScheduleConfig::new(SchemeKind::Chimera, 4, 8));
+        let first = apply_checkpoint(&mut s);
+        assert!(first > 0);
+        assert_eq!(apply_checkpoint(&mut s), 0);
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn works_on_every_scheme() {
+        for scheme in [
+            SchemeKind::GPipe,
+            SchemeKind::OneFOneB,
+            SchemeKind::Chimera,
+            SchemeKind::Interleave { chunks: 2 },
+        ] {
+            let mut s = generate(ScheduleConfig::new(scheme, 4, 8));
+            apply_checkpoint(&mut s);
+            validate(&s).unwrap_or_else(|e| panic!("{scheme:?}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn memory_collapses_to_one_replica() {
+        let mut s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        apply_checkpoint(&mut s);
+        // Counting only full activations (ckpt excluded), every device
+        // holds at most one restored replica at a time.
+        let peaks = s.peak_on_the_fly_per_device(false);
+        assert!(peaks.iter().all(|&p| p <= 1), "{peaks:?}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Pass 3 — *remove-redundancy* (paper §5.1): when a checkpointed forward
+//! and its backward are adjacent (no other compute in between), the
+//! activation would be dropped and instantly restored — pure overhead with
+//! no memory benefit — so the checkpoint and its recompute are removed.
+//!
+//! This fires on the last pipeline stage (where 1F1B strictly alternates
+//! F/B) and in cool-down tails.
+
+use mario_ir::{InstrKind, Schedule};
+
+/// Reverts pointless checkpoints. Returns the number reverted. Idempotent.
+pub fn remove_redundancy(schedule: &mut Schedule) -> usize {
+    let mut reverted = 0;
+    for d in 0..schedule.devices() {
+        let prog = schedule.program_mut(mario_ir::DeviceId(d));
+        let pairs: Vec<_> = prog
+            .instrs()
+            .iter()
+            .filter(|i| i.is_ckpt_forward())
+            .map(|i| (i.micro, i.part))
+            .collect();
+        for (m, p) in pairs {
+            let f = prog.forward_pos(m, p).expect("pair exists");
+            let b = prog
+                .effective_backward_pos(m, p)
+                .expect("ckpt pair has backward");
+            let rc = prog
+                .recompute_pos(m, p)
+                .expect("ckpt pair has recompute");
+            // Any compute other than our own recompute between CFW and BW?
+            let other_compute = (f + 1..b)
+                .any(|i| i != rc && prog.instrs()[i].kind.is_compute());
+            if !other_compute {
+                prog.replace_kind(f, InstrKind::Forward { ckpt: false });
+                prog.remove(rc);
+                reverted += 1;
+            }
+        }
+    }
+    reverted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::apply_checkpoint::apply_checkpoint;
+    use crate::passes::overlap_recompute::overlap_recompute;
+    use mario_ir::{validate, DeviceId, InstrTag, SchemeKind};
+    use mario_schedules::{generate, ScheduleConfig};
+
+    #[test]
+    fn last_device_checkpoints_are_all_removed() {
+        let mut s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        apply_checkpoint(&mut s);
+        let n = remove_redundancy(&mut s);
+        assert!(n >= 8, "at least the last device's 8 pairs, got {n}");
+        let last = s.program(DeviceId(3));
+        assert_eq!(last.count(|i| i.is_ckpt_forward()), 0);
+        assert_eq!(last.count(|i| i.kind == InstrKind::Recompute), 0);
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn early_devices_keep_their_checkpoints() {
+        let mut s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        apply_checkpoint(&mut s);
+        remove_redundancy(&mut s);
+        // Device 0's steady-state pairs have other compute in between.
+        assert!(s.program(DeviceId(0)).count(|i| i.is_ckpt_forward()) > 0);
+    }
+
+    #[test]
+    fn idempotent_and_order_independent_with_overlap() {
+        let mut a = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        apply_checkpoint(&mut a);
+        overlap_recompute(&mut a);
+        remove_redundancy(&mut a);
+        assert_eq!(remove_redundancy(&mut a), 0);
+        validate(&a).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn recompute_count_matches_ckpt_count_afterwards() {
+        for scheme in [
+            SchemeKind::OneFOneB,
+            SchemeKind::Chimera,
+            SchemeKind::Interleave { chunks: 2 },
+        ] {
+            let mut s = generate(ScheduleConfig::new(scheme, 4, 8));
+            apply_checkpoint(&mut s);
+            remove_redundancy(&mut s);
+            assert_eq!(
+                s.count_ckpt_forwards(),
+                s.count_tag(InstrTag::Recompute),
+                "{scheme:?}"
+            );
+            validate(&s).unwrap_or_else(|e| panic!("{scheme:?}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn gpipe_keeps_all_checkpoints() {
+        // GPipe never has F adjacent to its own B (all forwards first).
+        let mut s = generate(ScheduleConfig::new(SchemeKind::GPipe, 4, 8));
+        apply_checkpoint(&mut s);
+        // Exception: with N micro-batches, the *last* micro-batch's forward
+        // on the last device is immediately followed by backwards — but in
+        // GPipe order B0 comes first, so only if N == 1 would it be
+        // adjacent. With N = 8 nothing is removed on devices 0..2; on the
+        // last device, F7 is followed by B0..B7, and only B7 matches F7's
+        // pair, so the span contains other compute.
+        assert_eq!(remove_redundancy(&mut s), 0);
+    }
+}

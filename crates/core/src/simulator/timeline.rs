@@ -1,0 +1,290 @@
+//! The dynamic-programming timeline simulator (paper §5.2).
+//!
+//! Instead of hand-identifying critical paths, the simulator infers the
+//! earliest start time of every instruction from its dependencies:
+//! *horizontal* (in-order execution within a device's instruction list) and
+//! *vertical* (p2p messages between devices, per Algorithm 1's virtual
+//! pipeline). Semantics deliberately match the cluster emulator
+//! (mario-cluster) instruction for instruction — bounded per-class FIFO
+//! channels, launch overheads, transfer latency — so with zero jitter the
+//! two produce identical timelines, and the simulator-accuracy experiment
+//! (Fig. 10) isolates genuine modeling error (profiling regression,
+//! jitter).
+
+use mario_ir::exec::MsgClass;
+use mario_ir::{CostModel, DeviceId, InstrKind, Nanos, Schedule};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// One simulated instruction occurrence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// Executing device.
+    pub device: DeviceId,
+    /// Rendered instruction.
+    pub instr: String,
+    /// Earliest start (ns).
+    pub start: Nanos,
+    /// Finish (ns).
+    pub end: Nanos,
+}
+
+/// The simulated timeline of one iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimTimeline {
+    /// Every instruction with its start/end, ordered by (start, device).
+    pub events: Vec<SimEvent>,
+    /// Final clock per device.
+    pub device_clocks: Vec<Nanos>,
+    /// Iteration makespan (max device clock).
+    pub total_ns: Nanos,
+}
+
+impl SimTimeline {
+    /// Training throughput in samples/s for `samples` per iteration.
+    pub fn throughput(&self, samples: u64) -> f64 {
+        samples as f64 / (self.total_ns as f64 / 1e9)
+    }
+
+    /// Total idle ("bubble") time summed over devices: device lifetime not
+    /// spent in compute. Communication waits count as bubble — they are
+    /// exactly the idle slots Mario hides recomputation in.
+    pub fn bubble_ns(&self) -> Nanos {
+        let is_compute = |i: &str| {
+            i.starts_with('F')
+                || i.starts_with("cF")
+                || i.starts_with('B')
+                || (i.starts_with('R') && !i.starts_with("RA") && !i.starts_with("RG"))
+        };
+        let mut busy: HashMap<u32, Nanos> = HashMap::new();
+        for e in &self.events {
+            if is_compute(&e.instr) {
+                *busy.entry(e.device.0).or_default() += e.end - e.start;
+            }
+        }
+        self.device_clocks
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| c.saturating_sub(busy.get(&(d as u32)).copied().unwrap_or(0)))
+            .sum()
+    }
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// The schedule deadlocks under the given channel capacity.
+    Deadlock(String),
+    /// A receive saw a mismatched message.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock(s) => write!(f, "simulated deadlock: {s}"),
+            SimError::Mismatch(s) => write!(f, "simulated comm mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MsgId {
+    class: MsgClass,
+    micro: u32,
+    part: u32,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    /// In-flight messages: (identity, sent_at).
+    queue: VecDeque<(MsgId, Nanos)>,
+    /// Dequeue timestamps not yet consumed by the sender's capacity logic.
+    dequeues: VecDeque<Nanos>,
+    /// Messages sent so far minus dequeue-acks consumed by sender.
+    outstanding: usize,
+}
+
+/// Simulates `schedule` under `cost` with per-class FIFO channels of
+/// `channel_capacity`.
+pub fn simulate_timeline(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    channel_capacity: usize,
+) -> Result<SimTimeline, SimError> {
+    assert!(channel_capacity >= 1);
+    let devices = schedule.devices() as usize;
+    let mut pc = vec![0usize; devices];
+    let mut clocks = vec![0u64; devices];
+    let mut chans: HashMap<(u32, u32, MsgClass, u32), Channel> = HashMap::new();
+    let mut events: Vec<SimEvent> = Vec::with_capacity(schedule.total_instrs());
+
+    let class_of = |k: &InstrKind| match k {
+        InstrKind::SendAct { .. } | InstrKind::RecvAct { .. } => MsgClass::Act,
+        _ => MsgClass::Grad,
+    };
+
+    loop {
+        let mut fired = false;
+        let mut all_done = true;
+        for d in 0..devices {
+            let dev = DeviceId(d as u32);
+            let prog = schedule.program(dev);
+            let Some(&instr) = prog.instrs().get(pc[d]) else {
+                continue;
+            };
+            all_done = false;
+            let start = clocks[d];
+            let fired_now = match instr.kind {
+                InstrKind::Forward { .. }
+                | InstrKind::Backward
+                | InstrKind::BackwardInput
+                | InstrKind::BackwardWeight
+                | InstrKind::Recompute => {
+                    clocks[d] += cost.duration(dev, &instr);
+                    true
+                }
+                InstrKind::AllReduce => {
+                    clocks[d] += cost.allreduce_time(dev);
+                    true
+                }
+                InstrKind::OptimizerStep => {
+                    clocks[d] += cost.optimizer_time(dev);
+                    true
+                }
+                InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => {
+                    let class = class_of(&instr.kind);
+                    let ch = chans.entry((dev.0, peer.0, class, instr.part.0)).or_default();
+                    if ch.outstanding == channel_capacity {
+                        // Blocked until the receiver dequeues the oldest
+                        // in-flight message; that time is known only after
+                        // the receiver fires, so wait for it.
+                        if let Some(t) = ch.dequeues.pop_front() {
+                            ch.outstanding -= 1;
+                            clocks[d] =
+                                (clocks[d] + cost.p2p_launch_overhead()).max(t);
+                        } else {
+                            continue;
+                        }
+                    } else {
+                        clocks[d] += cost.p2p_launch_overhead();
+                    }
+                    let id = MsgId {
+                        class,
+                        micro: instr.micro.0,
+                        part: instr.part.0,
+                    };
+                    ch.queue.push_back((id, clocks[d]));
+                    ch.outstanding += 1;
+                    true
+                }
+                InstrKind::RecvAct { peer } | InstrKind::RecvGrad { peer } => {
+                    let class = class_of(&instr.kind);
+                    let ch = chans.entry((peer.0, dev.0, class, instr.part.0)).or_default();
+                    match ch.queue.front() {
+                        Some(&(id, sent_at)) => {
+                            let want = MsgId {
+                                class,
+                                micro: instr.micro.0,
+                                part: instr.part.0,
+                            };
+                            if id != want {
+                                return Err(SimError::Mismatch(format!(
+                                    "{dev} expected {want:?}, found {id:?}"
+                                )));
+                            }
+                            ch.queue.pop_front();
+                            let bytes = cost.boundary_bytes(dev, instr.part);
+                            let arrival = (clocks[d] + cost.p2p_launch_overhead())
+                                .max(sent_at + cost.p2p_time_between(peer, dev, bytes));
+                            ch.dequeues.push_back(arrival);
+                            clocks[d] = arrival;
+                            true
+                        }
+                        None => false,
+                    }
+                }
+            };
+            if fired_now {
+                events.push(SimEvent {
+                    device: dev,
+                    instr: instr.to_string(),
+                    start,
+                    end: clocks[d],
+                });
+                pc[d] += 1;
+                fired = true;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !fired {
+            let blocked: Vec<String> = (0..devices)
+                .filter_map(|d| {
+                    schedule.programs()[d]
+                        .get(pc[d])
+                        .map(|i| format!("d{d}#{}: {i}", pc[d]))
+                })
+                .collect();
+            return Err(SimError::Deadlock(blocked.join(", ")));
+        }
+    }
+
+    events.sort_by_key(|e| (e.start, e.device.0));
+    let total_ns = clocks.iter().copied().max().unwrap_or(0);
+    Ok(SimTimeline {
+        events,
+        device_clocks: clocks,
+        total_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mario_ir::{SchemeKind, UnitCost};
+    use mario_schedules::{generate, ScheduleConfig};
+
+    #[test]
+    fn matches_1f1b_closed_form() {
+        for (d, n) in [(2u32, 4u32), (4, 8), (8, 16)] {
+            let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, d, n));
+            let t = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+            assert_eq!(t.total_ns, ((3 * (d - 1) + 3 * n) * 1_000) as u64);
+        }
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        use mario_ir::{Instr, Schedule, Topology};
+        let topo = Topology::new(SchemeKind::OneFOneB, 2);
+        let mut s = Schedule::empty(topo, 1, vec![0]);
+        s.program_mut(DeviceId(0))
+            .push(Instr::recv_grad(0u32, 0u32, DeviceId(1)));
+        s.program_mut(DeviceId(1))
+            .push(Instr::recv_act(0u32, 0u32, DeviceId(0)));
+        let err = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock(_)));
+    }
+
+    #[test]
+    fn bubble_accounting() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 4));
+        let t = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+        // Each device is busy 3N units; makespan is 3(N + D - 1).
+        let expect_bubble: u64 = (0..4u64).map(|_| 3 * 3 * 1_000).sum();
+        // Devices finish at different times; bubble = sum(clock_d - busy_d).
+        assert!(t.bubble_ns() > 0);
+        assert!(t.bubble_ns() <= expect_bubble * 2);
+    }
+
+    #[test]
+    fn event_count_matches_instruction_count() {
+        let s = generate(ScheduleConfig::new(SchemeKind::Chimera, 4, 8));
+        let t = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+        assert_eq!(t.events.len(), s.total_instrs());
+    }
+}

@@ -1,0 +1,430 @@
+//! The schedule tuner (paper §5.3): grid search over
+//! `(a, b, pp, dp, mbs)` — checkpointing on/off, scheme, pipeline depth,
+//! data-parallel degree, micro-batch size — maximizing simulated training
+//! throughput under the device-memory constraint (Equation 1). Each grid
+//! point costs one schedule generation + graph tuning + simulation, a few
+//! milliseconds, against minutes per configuration on a real cluster.
+
+use crate::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
+use crate::simulator::{simulate_memory, simulate_timeline};
+use mario_ir::{SchemeKind, Topology};
+use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
+use mario_schedules::{generate, ScheduleConfig};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Scheme selection: fixed or automatic (paper Listing 1:
+/// `'Auto|V|X|W|...'`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeChoice {
+    /// Search across V, X and W.
+    Auto,
+    /// Search only the given schemes.
+    Fixed(Vec<SchemeKind>),
+}
+
+impl SchemeChoice {
+    /// The schemes this choice enumerates.
+    pub fn schemes(&self) -> Vec<SchemeKind> {
+        match self {
+            SchemeChoice::Auto => vec![
+                SchemeKind::OneFOneB,
+                SchemeKind::Chimera,
+                SchemeKind::Interleave { chunks: 2 },
+            ],
+            SchemeChoice::Fixed(v) => v.clone(),
+        }
+    }
+}
+
+/// Tuner knobs (the search space of Equation 1).
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// Scheme choice (`b`).
+    pub scheme_choice: SchemeChoice,
+    /// Total devices `D` in the cluster.
+    pub total_devices: u32,
+    /// Global batch size.
+    pub gbs: u32,
+    /// Device memory budget `dmem`, bytes.
+    pub mem_capacity: u64,
+    /// Micro-batch sizes to try (`mbs ∈ {1, 2, 4, 8, …}`).
+    pub mbs_options: Vec<u32>,
+    /// Minimum pipeline depth (Eq. 1 uses `4 ≤ pp ≤ D`).
+    pub min_pp: u32,
+    /// Checkpointing options (`a ∈ {False, True}`).
+    pub ckpt_options: Vec<bool>,
+    /// p2p buffer depth assumed in simulation.
+    pub channel_capacity: usize,
+    /// Data-parallel efficiency coefficient per doubling (§5.3 extends `F`
+    /// "to support the dp parameter, which multiplies an efficiency
+    /// coefficient").
+    pub dp_efficiency: f64,
+    /// Enable the simulator-guided prepose pass during evaluation (slower
+    /// but matches the full Mario pipeline).
+    pub prepose: bool,
+}
+
+impl TunerConfig {
+    /// Sensible defaults for a cluster of `total_devices` A100s.
+    pub fn new(total_devices: u32, gbs: u32, mem_capacity: u64) -> Self {
+        Self {
+            scheme_choice: SchemeChoice::Auto,
+            total_devices,
+            gbs,
+            mem_capacity,
+            mbs_options: vec![1, 2, 4, 8],
+            min_pp: 4,
+            ckpt_options: vec![false, true],
+            channel_capacity: 1,
+            dp_efficiency: 0.97,
+            prepose: true,
+        }
+    }
+}
+
+/// One point of the search grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Pipeline scheme (`b`).
+    pub scheme: SchemeKind,
+    /// Pipeline depth (`pp`).
+    pub pp: u32,
+    /// Data-parallel degree (`dp = D / pp`).
+    pub dp: u32,
+    /// Micro-batch size.
+    pub mbs: u32,
+    /// Mario checkpointing enabled (`a`).
+    pub mario: bool,
+}
+
+impl std::fmt::Display for Candidate {
+    /// The paper's Fig. 11 label format `x-y-z` (scheme, PP, mbs), plus a
+    /// `+M` marker when Mario is on.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}-{}-{}{}",
+            self.scheme.shape_letter(),
+            self.pp,
+            self.mbs,
+            if self.mario { "+M" } else { "" }
+        )
+    }
+}
+
+/// A simulated evaluation of one candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The grid point.
+    pub candidate: Candidate,
+    /// Cluster-wide throughput, samples/s (0 when the candidate OOMs —
+    /// the Eq. 1 penalty).
+    pub throughput: f64,
+    /// Simulated iteration time, ns.
+    pub iter_ns: u64,
+    /// Per-device peak memory range `[min, max]`, bytes.
+    pub peak_mem: (u64, u64),
+    /// Whether the candidate exceeds the memory budget.
+    pub oom: bool,
+}
+
+/// The outcome of a grid search.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Best feasible evaluation.
+    pub best: Evaluation,
+    /// Every evaluation, in search order (the Fig. 11 curve).
+    pub curve: Vec<Evaluation>,
+    /// Wall-clock time of the search.
+    pub tuning_time: Duration,
+}
+
+/// Errors from tuning.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TuneError {
+    /// No grid point satisfied the constraints (all OOM or invalid).
+    NoFeasibleConfig,
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NoFeasibleConfig => write!(f, "no feasible configuration found"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Topology for a candidate.
+pub fn topology_of(scheme: SchemeKind, pp: u32) -> Topology {
+    Topology::new(scheme, pp)
+}
+
+/// Channel buffer depth a scheme needs under blocking p2p (see the
+/// experiment harness for the rationale).
+pub fn scheme_channel_capacity(scheme: SchemeKind) -> usize {
+    match scheme {
+        SchemeKind::Wave { .. } | SchemeKind::Chimera => 2,
+        _ => 1,
+    }
+}
+
+/// Checks the structural constraints of a candidate; returns the
+/// micro-batch count if admissible.
+pub fn admissible(model: &ModelConfig, cand: &Candidate, gbs: u32) -> Option<u32> {
+    if cand.pp * cand.dp == 0 {
+        return None;
+    }
+    let denom = cand.dp * cand.mbs;
+    if gbs % denom != 0 {
+        return None;
+    }
+    let micros = gbs / denom;
+    if micros == 0 {
+        return None;
+    }
+    match cand.scheme {
+        SchemeKind::Chimera => {
+            if cand.pp % 2 != 0 || micros % 2 != 0 {
+                return None;
+            }
+        }
+        SchemeKind::Interleave { .. } => {
+            if micros % cand.pp != 0 {
+                return None;
+            }
+        }
+        _ => {}
+    }
+    let stages = topology_of(cand.scheme, cand.pp).num_stages();
+    if model.layers < stages {
+        return None;
+    }
+    Some(micros)
+}
+
+/// Simulates one candidate end to end. Returns `None` when the candidate is
+/// structurally inadmissible.
+pub fn evaluate(
+    model: &ModelConfig,
+    gpu: &GpuSpec,
+    cfg: &TunerConfig,
+    cand: Candidate,
+) -> Option<Evaluation> {
+    let micros = admissible(model, &cand, cfg.gbs)?;
+    let cap = cfg.channel_capacity.max(scheme_channel_capacity(cand.scheme));
+    let topo = topology_of(cand.scheme, cand.pp);
+    let setup = TrainSetup::pipeline(model.clone(), gpu.clone(), topo, cand.mbs)
+        .with_dp(cand.dp);
+    let cost = AnalyticCost::new(&setup);
+    let mut schedule = generate(
+        ScheduleConfig::new(cand.scheme, cand.pp, micros).allreduce(cand.dp > 1),
+    );
+    if cand.mario {
+        let opts = GraphTunerOptions {
+            prepose: cfg.prepose,
+            prepose_opts: PreposeOptions {
+                channel_capacity: cap,
+                mem_capacity: Some(cfg.mem_capacity),
+                max_rounds: 2,
+            },
+            ..GraphTunerOptions::mario()
+        };
+        run_graph_tuner(&mut schedule, &cost, opts);
+    }
+    let mem = simulate_memory(&schedule, &cost, Some(cfg.mem_capacity));
+    let oom = !mem.fits(cfg.mem_capacity);
+    let timeline = simulate_timeline(&schedule, &cost, cap).ok()?;
+    let eff = cfg.dp_efficiency.powf((cand.dp as f64).log2());
+    let throughput = if oom {
+        0.0
+    } else {
+        timeline.throughput(cfg.gbs as u64) * eff
+    };
+    Some(Evaluation {
+        candidate: cand,
+        throughput,
+        iter_ns: timeline.total_ns,
+        peak_mem: (mem.min_peak(), mem.max_peak()),
+        oom,
+    })
+}
+
+/// Runs the full grid search (Equation 1).
+pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<TuneResult, TuneError> {
+    let started = Instant::now();
+    let mut curve = Vec::new();
+    for scheme in cfg.scheme_choice.schemes() {
+        for pp in 1..=cfg.total_devices {
+            if pp < cfg.min_pp || cfg.total_devices % pp != 0 {
+                continue;
+            }
+            let dp = cfg.total_devices / pp;
+            for &mbs in &cfg.mbs_options {
+                for &mario in &cfg.ckpt_options {
+                    let cand = Candidate {
+                        scheme,
+                        pp,
+                        dp,
+                        mbs,
+                        mario,
+                    };
+                    if let Some(eval) = evaluate(model, gpu, cfg, cand) {
+                        curve.push(eval);
+                    }
+                }
+            }
+        }
+    }
+    let best = curve
+        .iter()
+        .filter(|e| !e.oom)
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .cloned()
+        .ok_or(TuneError::NoFeasibleConfig)?;
+    Ok(TuneResult {
+        best,
+        curve,
+        tuning_time: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TunerConfig {
+        TunerConfig {
+            mbs_options: vec![1, 2],
+            prepose: false, // keep unit tests fast
+            ..TunerConfig::new(8, 32, 40 * (1 << 30))
+        }
+    }
+
+    #[test]
+    fn tune_finds_a_feasible_config_for_gpt3_1_6b() {
+        let r = tune(
+            &ModelConfig::gpt3_1_6b(),
+            &GpuSpec::a100_40g(),
+            &small_cfg(),
+        )
+        .unwrap();
+        assert!(r.best.throughput > 0.0);
+        assert!(!r.curve.is_empty());
+        // The best config must be at least as good as every non-OOM point.
+        for e in &r.curve {
+            assert!(r.best.throughput >= e.throughput);
+        }
+    }
+
+    #[test]
+    fn admissibility_rules() {
+        let m = ModelConfig::gpt3_1_6b();
+        // Chimera needs even pp and even micros.
+        let c = Candidate {
+            scheme: SchemeKind::Chimera,
+            pp: 5,
+            dp: 1,
+            mbs: 1,
+            mario: false,
+        };
+        assert!(admissible(&m, &c, 32).is_none());
+        // Interleave needs micros % pp == 0.
+        let c = Candidate {
+            scheme: SchemeKind::Interleave { chunks: 2 },
+            pp: 8,
+            dp: 1,
+            mbs: 3,
+            mario: false,
+        };
+        assert!(admissible(&m, &c, 32).is_none());
+        // Too many stages for the layer count.
+        let shallow = ModelConfig {
+            layers: 4,
+            ..ModelConfig::gpt3_1_6b()
+        };
+        let c = Candidate {
+            scheme: SchemeKind::OneFOneB,
+            pp: 8,
+            dp: 1,
+            mbs: 1,
+            mario: false,
+        };
+        assert!(admissible(&shallow, &c, 32).is_none());
+        // A good 1F1B candidate.
+        let c = Candidate {
+            scheme: SchemeKind::OneFOneB,
+            pp: 8,
+            dp: 1,
+            mbs: 2,
+            mario: true,
+        };
+        assert_eq!(admissible(&m, &c, 32), Some(16));
+    }
+
+    #[test]
+    fn oom_candidates_get_zero_throughput_but_stay_on_the_curve() {
+        // A tiny memory budget makes everything OOM except nothing.
+        let cfg = TunerConfig {
+            mem_capacity: 1 << 30, // 1 GB: static alone exceeds this
+            ..small_cfg()
+        };
+        let err = tune(&ModelConfig::gpt3_13b(), &GpuSpec::a100_40g(), &cfg);
+        assert_eq!(err.unwrap_err(), TuneError::NoFeasibleConfig);
+    }
+
+    #[test]
+    fn candidate_label_format() {
+        let c = Candidate {
+            scheme: SchemeKind::OneFOneB,
+            pp: 64,
+            dp: 1,
+            mbs: 16,
+            mario: true,
+        };
+        assert_eq!(c.to_string(), "V-64-16+M");
+    }
+
+    #[test]
+    fn mario_enables_configs_that_oom_without_it() {
+        // GPT3-13B on 32 devices at mbs 2: base 1F1B OOMs on 40 GB (Table
+        // 5 V-base max = 122 GB), Mario fits (V-ovlp max = 14 GB).
+        let model = ModelConfig::gpt3_13b();
+        let gpu = GpuSpec::a100_40g();
+        let cfg = TunerConfig {
+            prepose: false,
+            ..TunerConfig::new(32, 128, 40 * (1 << 30))
+        };
+        let base = evaluate(
+            &model,
+            &gpu,
+            &cfg,
+            Candidate {
+                scheme: SchemeKind::OneFOneB,
+                pp: 32,
+                dp: 1,
+                mbs: 2,
+                mario: false,
+            },
+        )
+        .unwrap();
+        let mario = evaluate(
+            &model,
+            &gpu,
+            &cfg,
+            Candidate {
+                scheme: SchemeKind::OneFOneB,
+                pp: 32,
+                dp: 1,
+                mbs: 2,
+                mario: true,
+            },
+        )
+        .unwrap();
+        assert!(base.oom, "base should OOM: {:?}", base.peak_mem);
+        assert!(!mario.oom, "mario should fit: {:?}", mario.peak_mem);
+        assert!(mario.throughput > 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Pipeline visualization (paper §5.2 "Visualization", Fig. 5): render a
+//! simulated timeline as an ASCII Gantt chart or an SVG document, so users
+//! can inspect bubble distribution and checkpoint placement instead of
+//! staring at throughput numbers.
+
+use crate::simulator::SimTimeline;
+use mario_ir::Nanos;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct VizOptions {
+    /// Virtual nanoseconds per character cell (ASCII) / per pixel (SVG).
+    pub ns_per_cell: Nanos,
+    /// Show micro-batch digits instead of instruction-class letters.
+    pub show_micro_ids: bool,
+}
+
+impl Default for VizOptions {
+    fn default() -> Self {
+        Self {
+            ns_per_cell: 1_000,
+            show_micro_ids: false,
+        }
+    }
+}
+
+fn glyph(instr: &str, show_micro: bool) -> Option<char> {
+    // Events are rendered from their compact notation: F3^0, cF3^0, B3^0,
+    // R3^0; comm/collective events are zero-width in the unit grid and
+    // skipped.
+    let (class, rest) = if let Some(r) = instr.strip_prefix("cF") {
+        ('f', r)
+    } else if let Some(r) = instr.strip_prefix('F') {
+        ('F', r)
+    } else if let Some(r) = instr.strip_prefix("Bi") {
+        ('b', r)
+    } else if let Some(r) = instr.strip_prefix("Bw") {
+        ('w', r)
+    } else if let Some(r) = instr.strip_prefix('B') {
+        ('B', r)
+    } else if let Some(r) = instr.strip_prefix('R') {
+        if instr.starts_with("RA") || instr.starts_with("RG") {
+            return None;
+        }
+        ('R', r)
+    } else {
+        return None;
+    };
+    if show_micro {
+        let digit = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse::<u32>()
+            .ok()?;
+        Some(char::from_digit(digit % 10, 10).unwrap())
+    } else {
+        Some(class)
+    }
+}
+
+/// Renders an ASCII Gantt chart: one row per device, `.` for bubbles.
+pub fn render_ascii(timeline: &SimTimeline, opts: VizOptions) -> String {
+    let devices = timeline.device_clocks.len();
+    let width = (timeline.total_ns / opts.ns_per_cell) as usize + 1;
+    let mut grid = vec![vec!['.'; width]; devices];
+    for e in &timeline.events {
+        let Some(g) = glyph(&e.instr, opts.show_micro_ids) else {
+            continue;
+        };
+        let s = (e.start / opts.ns_per_cell) as usize;
+        let t = (e.end / opts.ns_per_cell) as usize;
+        for cell in grid[e.device.index()].iter_mut().take(t.max(s + 1)).skip(s) {
+            *cell = g;
+        }
+    }
+    let mut out = String::new();
+    for (d, row) in grid.iter().enumerate() {
+        out.push_str(&format!("d{d}: "));
+        // Trim trailing idle cells.
+        let last = row
+            .iter()
+            .rposition(|&c| c != '.')
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        out.extend(row[..last].iter());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a minimal SVG Gantt chart.
+pub fn render_svg(timeline: &SimTimeline, opts: VizOptions) -> String {
+    let devices = timeline.device_clocks.len();
+    let row_h = 22u64;
+    let width = timeline.total_ns / opts.ns_per_cell + 40;
+    let height = devices as u64 * row_h + 10;
+    let mut out = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}">"#
+    );
+    for e in &timeline.events {
+        let color = if e.instr.starts_with("cF") {
+            "#7fb3d5" // checkpointed forward: light blue
+        } else if e.instr.starts_with('F') {
+            "#2e86c1" // forward: blue
+        } else if e.instr.starts_with("Bi") {
+            "#1e8449" // backward input half: dark green
+        } else if e.instr.starts_with("Bw") {
+            "#a9dfbf" // backward weight half: pale green
+        } else if e.instr.starts_with('B') {
+            "#27ae60" // backward: green
+        } else if e.instr.starts_with('R') && !e.instr.starts_with("RA") && !e.instr.starts_with("RG")
+        {
+            "#e67e22" // recompute: orange
+        } else {
+            continue;
+        };
+        let x = e.start / opts.ns_per_cell + 30;
+        let w = ((e.end - e.start) / opts.ns_per_cell).max(1);
+        let y = e.device.0 as u64 * row_h + 4;
+        out.push_str(&format!(
+            r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="{color}" stroke="#333" stroke-width="0.5"><title>{t}</title></rect>"##,
+            h = row_h - 6,
+            t = e.instr
+        ));
+    }
+    for d in 0..devices {
+        out.push_str(&format!(
+            r#"<text x="2" y="{y}" font-size="10">d{d}</text>"#,
+            y = d as u64 * row_h + 16
+        ));
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::simulate_timeline;
+    use mario_ir::{SchemeKind, UnitCost};
+    use mario_schedules::{generate, ScheduleConfig};
+
+    fn timeline() -> SimTimeline {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 3, 3));
+        simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap()
+    }
+
+    #[test]
+    fn ascii_has_one_row_per_device() {
+        let a = render_ascii(&timeline(), VizOptions::default());
+        assert_eq!(a.lines().count(), 3);
+        assert!(a.contains('F'));
+        assert!(a.contains('B'));
+    }
+
+    #[test]
+    fn last_device_starts_with_bubbles() {
+        let a = render_ascii(&timeline(), VizOptions::default());
+        let last = a.lines().last().unwrap();
+        // 1F1B: device 2 idles 2 cells before its first forward.
+        assert!(last.starts_with("d2: ..F"), "{last}");
+    }
+
+    #[test]
+    fn micro_id_mode_uses_digits() {
+        let a = render_ascii(
+            &timeline(),
+            VizOptions {
+                show_micro_ids: true,
+                ..Default::default()
+            },
+        );
+        assert!(a.contains('0'));
+        assert!(a.contains('2'));
+        assert!(!a.contains('F'));
+    }
+
+    #[test]
+    fn checkpointed_timeline_shows_recomputes() {
+        let mut s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 3, 3));
+        crate::passes::apply_checkpoint(&mut s);
+        let t = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+        let a = render_ascii(&t, VizOptions::default());
+        assert!(a.contains('R'), "{a}");
+        assert!(a.contains('f'), "{a}");
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = render_svg(&timeline(), VizOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.matches("<rect").count() >= 9); // 3 devices × 3 F + B
+    }
+}

@@ -1,0 +1,376 @@
+//! Symbolic lock-step execution of a schedule, used to prove that an
+//! instruction list is *executable*: every receive finds its matching send,
+//! channel buffers never overflow into a cyclic wait, and the whole
+//! iteration drains without deadlock.
+//!
+//! This mirrors the blocking p2p semantics the paper's pass 4 must respect
+//! ("`SA` and `RA` must be paired to avoid deadlock", §5.1): each directed
+//! device pair owns one FIFO channel *per message class and partition*
+//! (activations and gradients of each model chunk travel on separate
+//! links, as with distinct NCCL tags / per-chunk process groups)
+//! with a small bounded capacity — one in-flight message by default, like a
+//! single pre-allocated communication buffer. A send blocks when the buffer
+//! is full; a receive blocks until a message is available and must match
+//! the head message exactly.
+
+use crate::ids::{DeviceId, MicroId, PartId};
+use crate::instr::InstrKind;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Message class carried on a channel (activation or gradient).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsgClass {
+    /// Stage-boundary activation (SA → RA).
+    Act,
+    /// Stage-boundary gradient (SG → RG).
+    Grad,
+}
+
+/// A message in flight on a directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Msg {
+    /// Activation or gradient.
+    pub class: MsgClass,
+    /// Micro-batch id.
+    pub micro: MicroId,
+    /// Partition id (tagged with the producer-side part).
+    pub part: PartId,
+}
+
+/// Why symbolic execution failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecError {
+    /// No device could make progress. Carries `(device, pc, instr)` for
+    /// every unfinished device.
+    Deadlock(Vec<(DeviceId, usize, String)>),
+    /// A receive found a non-matching message at the channel head.
+    MessageMismatch {
+        /// The receiving device.
+        device: DeviceId,
+        /// Position of the receive in its program.
+        pc: usize,
+        /// What the receive expected.
+        expected: Msg,
+        /// What was at the head of the channel.
+        found: Msg,
+    },
+    /// A receive names a peer that never sends on that channel.
+    UnmatchedRecv {
+        /// The receiving device.
+        device: DeviceId,
+        /// Position of the receive in its program.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Deadlock(states) => {
+                write!(f, "deadlock; blocked devices:")?;
+                for (d, pc, i) in states {
+                    write!(f, " [{d} at #{pc}: {i}]")?;
+                }
+                Ok(())
+            }
+            ExecError::MessageMismatch {
+                device,
+                pc,
+                expected,
+                found,
+            } => write!(
+                f,
+                "message mismatch on {device} at #{pc}: expected {expected:?}, found {found:?}"
+            ),
+            ExecError::UnmatchedRecv { device, pc } => {
+                write!(f, "receive on {device} at #{pc} can never be satisfied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn msg_of(kind: &InstrKind, micro: MicroId, part: PartId) -> Option<(MsgClass, Msg)> {
+    let class = match kind {
+        InstrKind::SendAct { .. } | InstrKind::RecvAct { .. } => MsgClass::Act,
+        InstrKind::SendGrad { .. } | InstrKind::RecvGrad { .. } => MsgClass::Grad,
+        _ => return None,
+    };
+    Some((class, Msg { class, micro, part }))
+}
+
+/// Symbolically executes `schedule` with per-channel FIFO buffers of
+/// `channel_capacity` messages. Returns the total number of "firings"
+/// (executed instructions) on success.
+pub fn check_executable(schedule: &Schedule, channel_capacity: usize) -> Result<usize, ExecError> {
+    assert!(channel_capacity >= 1, "channels need capacity >= 1");
+    let devices = schedule.devices() as usize;
+    let mut pc = vec![0usize; devices];
+    let mut channels: HashMap<(DeviceId, DeviceId, MsgClass, PartId), VecDeque<Msg>> = HashMap::new();
+    let mut fired_total = 0usize;
+
+    loop {
+        let mut fired = false;
+        let mut all_done = true;
+
+        // Barrier bookkeeping for AllReduce: every device must be parked at
+        // an AllReduce simultaneously before any may proceed.
+        let at_allreduce = (0..devices)
+            .filter(|&d| {
+                schedule.programs()[d]
+                    .get(pc[d])
+                    .is_some_and(|i| i.kind == InstrKind::AllReduce)
+            })
+            .count();
+
+        for d in 0..devices {
+            let prog = &schedule.programs()[d];
+            let Some(instr) = prog.get(pc[d]) else {
+                continue;
+            };
+            all_done = false;
+            let dev = DeviceId(d as u32);
+            let can_fire = match instr.kind {
+                InstrKind::Forward { .. }
+                | InstrKind::Backward
+                | InstrKind::BackwardInput
+                | InstrKind::BackwardWeight
+                | InstrKind::Recompute
+                | InstrKind::OptimizerStep => true,
+                InstrKind::AllReduce => at_allreduce == devices,
+                InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => {
+                    let (class, msg) = msg_of(&instr.kind, instr.micro, instr.part)
+                        .expect("send produces a message");
+                    let chan = channels.entry((dev, peer, class, instr.part)).or_default();
+                    if chan.len() < channel_capacity {
+                        chan.push_back(msg);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                InstrKind::RecvAct { peer } | InstrKind::RecvGrad { peer } => {
+                    let (class, _) = msg_of(&instr.kind, instr.micro, instr.part)
+                        .expect("recv expects a message");
+                    let chan = channels.entry((peer, dev, class, instr.part)).or_default();
+                    match chan.front() {
+                        Some(&head) => {
+                            let (_, want) = msg_of(&instr.kind, instr.micro, instr.part)
+                                .expect("recv expects a message");
+                            if head == want {
+                                chan.pop_front();
+                                true
+                            } else {
+                                return Err(ExecError::MessageMismatch {
+                                    device: dev,
+                                    pc: pc[d],
+                                    expected: want,
+                                    found: head,
+                                });
+                            }
+                        }
+                        None => false,
+                    }
+                }
+            };
+            if can_fire {
+                pc[d] += 1;
+                fired = true;
+                fired_total += 1;
+            }
+        }
+
+        if all_done {
+            return Ok(fired_total);
+        }
+        if !fired {
+            // Better diagnostics: a receive whose peer has already finished
+            // its program (with an empty channel) can never be satisfied —
+            // report it as such rather than as a generic deadlock.
+            for d in 0..devices {
+                let Some(i) = schedule.programs()[d].get(pc[d]) else {
+                    continue;
+                };
+                if let InstrKind::RecvAct { peer } | InstrKind::RecvGrad { peer } = i.kind {
+                    let peer_done =
+                        schedule.programs()[peer.index()].get(pc[peer.index()]).is_none();
+                    let (class, _) = msg_of(&i.kind, i.micro, i.part).expect("recv");
+                    let empty = channels
+                        .get(&(peer, DeviceId(d as u32), class, i.part))
+                        .is_none_or(|c| c.is_empty());
+                    if peer_done && empty {
+                        return Err(ExecError::UnmatchedRecv {
+                            device: DeviceId(d as u32),
+                            pc: pc[d],
+                        });
+                    }
+                }
+            }
+            let states = (0..devices)
+                .filter_map(|d| {
+                    schedule.programs()[d]
+                        .get(pc[d])
+                        .map(|i| (DeviceId(d as u32), pc[d], i.to_string()))
+                })
+                .collect();
+            return Err(ExecError::Deadlock(states));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::topology::{SchemeKind, Topology};
+
+    fn two_device_schedule(d0: Vec<Instr>, d1: Vec<Instr>) -> Schedule {
+        let topo = Topology::new(SchemeKind::OneFOneB, 2);
+        let mut s = Schedule::empty(topo, 1, vec![0]);
+        for i in d0 {
+            s.program_mut(DeviceId(0)).push(i);
+        }
+        for i in d1 {
+            s.program_mut(DeviceId(1)).push(i);
+        }
+        s
+    }
+
+    #[test]
+    fn matched_send_recv_executes() {
+        let s = two_device_schedule(
+            vec![
+                Instr::forward(0u32, 0u32),
+                Instr::send_act(0u32, 0u32, DeviceId(1)),
+            ],
+            vec![
+                Instr::recv_act(0u32, 0u32, DeviceId(0)),
+                Instr::forward(0u32, 0u32),
+            ],
+        );
+        assert_eq!(check_executable(&s, 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn recv_without_send_is_an_unmatched_recv() {
+        // The peer finishes its whole program without sending: the receive
+        // can never complete, and the diagnosis says so precisely.
+        let s = two_device_schedule(
+            vec![Instr::forward(0u32, 0u32)],
+            vec![Instr::recv_act(0u32, 0u32, DeviceId(0))],
+        );
+        let err = check_executable(&s, 1).unwrap_err();
+        match err {
+            ExecError::UnmatchedRecv { device, pc } => {
+                assert_eq!(device, DeviceId(1));
+                assert_eq!(pc, 0);
+            }
+            other => panic!("expected unmatched recv, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mutual_recv_wait_is_still_a_deadlock() {
+        // Both peers are alive but each waits on the other: a true cycle.
+        let s = two_device_schedule(
+            vec![
+                Instr::recv_grad(0u32, 0u32, DeviceId(1)),
+                Instr::send_act(0u32, 0u32, DeviceId(1)),
+            ],
+            vec![
+                Instr::recv_act(0u32, 0u32, DeviceId(0)),
+                Instr::send_grad(0u32, 0u32, DeviceId(0)),
+            ],
+        );
+        let err = check_executable(&s, 1).unwrap_err();
+        assert!(matches!(err, ExecError::Deadlock(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_order_messages_are_reported() {
+        // d0 sends micro 1 first but d1 expects micro 0 first.
+        let s = two_device_schedule(
+            vec![
+                Instr::send_act(1u32, 0u32, DeviceId(1)),
+                Instr::send_act(0u32, 0u32, DeviceId(1)),
+            ],
+            vec![
+                Instr::recv_act(0u32, 0u32, DeviceId(0)),
+                Instr::recv_act(1u32, 0u32, DeviceId(0)),
+            ],
+        );
+        let err = check_executable(&s, 2).unwrap_err();
+        assert!(matches!(err, ExecError::MessageMismatch { .. }));
+    }
+
+    #[test]
+    fn capacity_one_blocks_second_send_until_drained() {
+        // d0 wants to push two sends before d1 receives anything; with
+        // capacity 1 this requires interleaving, which d1's program allows.
+        let s = two_device_schedule(
+            vec![
+                Instr::send_act(0u32, 0u32, DeviceId(1)),
+                Instr::send_act(1u32, 0u32, DeviceId(1)),
+            ],
+            vec![
+                Instr::recv_act(0u32, 0u32, DeviceId(0)),
+                Instr::recv_act(1u32, 0u32, DeviceId(0)),
+            ],
+        );
+        assert!(check_executable(&s, 1).is_ok());
+    }
+
+    #[test]
+    fn cyclic_rendezvous_wait_is_a_deadlock() {
+        // Both devices send first with full channels -> classic head-on
+        // deadlock once capacity is exhausted. Fill the buffers with a
+        // first exchange that is never drained.
+        let s = two_device_schedule(
+            vec![
+                Instr::send_act(0u32, 0u32, DeviceId(1)),
+                Instr::send_act(1u32, 0u32, DeviceId(1)),
+                Instr::recv_grad(0u32, 0u32, DeviceId(1)),
+            ],
+            vec![
+                Instr::send_grad(0u32, 0u32, DeviceId(0)),
+                Instr::send_grad(1u32, 0u32, DeviceId(0)),
+                Instr::recv_act(0u32, 0u32, DeviceId(0)),
+            ],
+        );
+        // Capacity 1: each device fires its first send, then blocks on the
+        // second send because the peer never drains -> deadlock.
+        let err = check_executable(&s, 1).unwrap_err();
+        assert!(matches!(err, ExecError::Deadlock(_)), "got {err}");
+        // Capacity 2 resolves it.
+        assert!(check_executable(&s, 2).is_ok());
+    }
+
+    #[test]
+    fn allreduce_is_a_barrier() {
+        let s = two_device_schedule(
+            vec![Instr::forward(0u32, 0u32), Instr::all_reduce()],
+            vec![Instr::all_reduce(), Instr::forward(0u32, 0u32)],
+        );
+        assert!(check_executable(&s, 1).is_ok());
+
+        // If one device lacks the AllReduce, the other deadlocks.
+        let s = two_device_schedule(
+            vec![Instr::all_reduce()],
+            vec![Instr::forward(0u32, 0u32)],
+        );
+        assert!(matches!(
+            check_executable(&s, 1),
+            Err(ExecError::Deadlock(_))
+        ));
+    }
+
+    #[test]
+    fn empty_schedule_is_trivially_executable() {
+        let s = two_device_schedule(vec![], vec![]);
+        assert_eq!(check_executable(&s, 1).unwrap(), 0);
+    }
+}

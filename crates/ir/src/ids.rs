@@ -1,0 +1,102 @@
+//! Strongly-typed identifiers used throughout the Mario IR.
+//!
+//! The paper (Table 2/3) indexes every pipeline instruction by a
+//! *micro-batch id* (subscript `m`) and a *partition id* (superscript `p`),
+//! and maps instructions onto *devices* that each hold one or more pipeline
+//! *stages*. Keeping these four spaces as distinct newtypes prevents the
+//! classic off-by-one-axis bugs when manipulating schedules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $short:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a `usize` index (panics on overflow).
+            #[inline]
+            pub fn from_usize(v: usize) -> Self {
+                Self(u32::try_from(v).expect("id overflows u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $short, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A physical device (one GPU in the paper's terminology).
+    DeviceId,
+    "d"
+);
+id_newtype!(
+    /// A pipeline stage: a contiguous group of model layers.
+    StageId,
+    "s"
+);
+id_newtype!(
+    /// A micro-batch id (subscript `m` in the paper).
+    MicroId,
+    "m"
+);
+id_newtype!(
+    /// A partition id (superscript `p` in the paper): distinguishes the
+    /// multiple stages a single device may hold (Chimera's up/down pipelines,
+    /// Interleave's model chunks).
+    PartId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_short_prefixes() {
+        assert_eq!(DeviceId(3).to_string(), "d3");
+        assert_eq!(StageId(0).to_string(), "s0");
+        assert_eq!(MicroId(12).to_string(), "m12");
+        assert_eq!(PartId(1).to_string(), "p1");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let d = DeviceId::from_usize(42);
+        assert_eq!(d.index(), 42);
+        assert_eq!(DeviceId::from(42u32), d);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(MicroId(1) < MicroId(2));
+        assert!(DeviceId(0) < DeviceId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflows u32")]
+    fn from_usize_panics_on_overflow() {
+        let _ = MicroId::from_usize(usize::MAX);
+    }
+}

@@ -1,0 +1,465 @@
+//! The *virtual pipeline* abstraction (paper §5.2, Algorithm 1).
+//!
+//! Pipeline schemes differ wildly in how logical stages map onto physical
+//! devices: 1F1B maps stage `s` to device `s`; Chimera runs two pipelines in
+//! opposite directions at once; Interleave wraps `v` model chunks around the
+//! device ring; Hanayo-style wave pipelines zig-zag. The virtual pipeline
+//! unifies them: every scheme exposes, for each `(device, part)` pair, which
+//! model stage it holds and where the activation travels next
+//! (`find_next_inst`) or came from (`find_prev_inst`).
+
+use crate::ids::{DeviceId, PartId, StageId};
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline scheme shapes the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// GPipe: all forwards, then all backwards; one stage per device.
+    GPipe,
+    /// 1F1B ("V" shape): one-forward-one-backward steady state; one stage
+    /// per device.
+    OneFOneB,
+    /// Chimera ("X" shape): two bidirectional pipelines; every device holds
+    /// one *down* stage (part 0) and one *up* stage (part 1); model weights
+    /// are replicated once per direction.
+    Chimera,
+    /// Interleave ("W" shape, Megatron interleaved): each device holds
+    /// `chunks` model chunks; a micro-batch wraps around the device ring
+    /// `chunks` times.
+    Interleave {
+        /// Number of model chunks per device (a.k.a. virtual pipeline size).
+        chunks: u32,
+    },
+    /// Hanayo-style wave pipeline: like Interleave but consecutive chunks
+    /// traverse the devices in alternating directions, so wave boundaries
+    /// stay on-device.
+    Wave {
+        /// Number of waves (chunks) per device.
+        chunks: u32,
+    },
+}
+
+impl SchemeKind {
+    /// Short display name used in tables ("V", "X", "W", ...).
+    pub fn shape_letter(&self) -> &'static str {
+        match self {
+            SchemeKind::GPipe => "G",
+            SchemeKind::OneFOneB => "V",
+            SchemeKind::Chimera => "X",
+            SchemeKind::Interleave { .. } => "W",
+            SchemeKind::Wave { .. } => "H",
+        }
+    }
+
+    /// How many partitions (stages) each device holds under this scheme.
+    pub fn parts_per_device(&self) -> u32 {
+        match *self {
+            SchemeKind::GPipe | SchemeKind::OneFOneB => 1,
+            SchemeKind::Chimera => 2,
+            SchemeKind::Interleave { chunks } | SchemeKind::Wave { chunks } => chunks,
+        }
+    }
+
+    /// How many distinct forward *routes* micro-batches may take.
+    ///
+    /// Only Chimera has two (the down and up pipelines); in every other
+    /// scheme all micro-batches follow route 0.
+    pub fn num_routes(&self) -> u32 {
+        match self {
+            SchemeKind::Chimera => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// The virtual pipeline: scheme + device count, with stage/hop arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// The pipeline scheme.
+    pub scheme: SchemeKind,
+    /// Number of devices `D` in the pipeline dimension.
+    pub devices: u32,
+}
+
+impl Topology {
+    /// Creates a topology, checking scheme-specific constraints.
+    ///
+    /// # Panics
+    /// If `devices == 0`, if Chimera is requested with an odd device count,
+    /// or if Interleave/Wave are requested with zero chunks.
+    pub fn new(scheme: SchemeKind, devices: u32) -> Self {
+        assert!(devices > 0, "pipeline needs at least one device");
+        if matches!(scheme, SchemeKind::Chimera) {
+            assert!(
+                devices % 2 == 0,
+                "Chimera requires an even number of devices, got {devices}"
+            );
+        }
+        if let SchemeKind::Interleave { chunks } | SchemeKind::Wave { chunks } = scheme {
+            assert!(chunks > 0, "Interleave/Wave require at least one chunk");
+        }
+        Self { scheme, devices }
+    }
+
+    /// Number of partitions each device holds.
+    #[inline]
+    pub fn parts_per_device(&self) -> u32 {
+        self.scheme.parts_per_device()
+    }
+
+    /// Total number of model stages along one forward route.
+    ///
+    /// Chimera's two routes each traverse all `D` stages (the model is split
+    /// into `D` stages; both directions hold a full replica), so this is `D`
+    /// for Chimera and `D × chunks` for Interleave/Wave.
+    #[inline]
+    pub fn num_stages(&self) -> u32 {
+        match self.scheme {
+            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::Chimera => self.devices,
+            SchemeKind::Interleave { chunks } | SchemeKind::Wave { chunks } => {
+                self.devices * chunks
+            }
+        }
+    }
+
+    /// Number of distinct forward routes (see [`SchemeKind::num_routes`]).
+    #[inline]
+    pub fn num_routes(&self) -> u32 {
+        self.scheme.num_routes()
+    }
+
+    /// The model stage held by `(device, part)`.
+    ///
+    /// For Chimera, both parts cover the same `D` model stages, mirrored:
+    /// part 0 (down) puts stage `d` on device `d`; part 1 (up) puts stage
+    /// `D-1-d` on device `d`.
+    pub fn stage_of(&self, device: DeviceId, part: PartId) -> StageId {
+        let d = device.0;
+        let p = part.0;
+        let dd = self.devices;
+        debug_assert!(d < dd, "device {d} out of range (D={dd})");
+        debug_assert!(
+            p < self.parts_per_device(),
+            "part {p} out of range for {:?}",
+            self.scheme
+        );
+        match self.scheme {
+            SchemeKind::GPipe | SchemeKind::OneFOneB => StageId(d),
+            SchemeKind::Chimera => {
+                if p == 0 {
+                    StageId(d)
+                } else {
+                    StageId(dd - 1 - d)
+                }
+            }
+            SchemeKind::Interleave { .. } => StageId(p * dd + d),
+            SchemeKind::Wave { .. } => {
+                if p % 2 == 0 {
+                    StageId(p * dd + d)
+                } else {
+                    StageId(p * dd + (dd - 1 - d))
+                }
+            }
+        }
+    }
+
+    /// The forward path of `route`: the `(device, part)` hops a micro-batch
+    /// visits from the first to the last stage.
+    pub fn forward_path(&self, route: u32) -> Vec<(DeviceId, PartId)> {
+        let dd = self.devices;
+        match self.scheme {
+            SchemeKind::GPipe | SchemeKind::OneFOneB => {
+                (0..dd).map(|d| (DeviceId(d), PartId(0))).collect()
+            }
+            SchemeKind::Chimera => {
+                if route == 0 {
+                    (0..dd).map(|d| (DeviceId(d), PartId(0))).collect()
+                } else {
+                    (0..dd).rev().map(|d| (DeviceId(d), PartId(1))).collect()
+                }
+            }
+            SchemeKind::Interleave { chunks } => (0..chunks)
+                .flat_map(|p| (0..dd).map(move |d| (DeviceId(d), PartId(p))))
+                .collect(),
+            SchemeKind::Wave { chunks } => (0..chunks)
+                .flat_map(|p| {
+                    let fwd: Box<dyn Iterator<Item = u32>> = if p % 2 == 0 {
+                        Box::new(0..dd)
+                    } else {
+                        Box::new((0..dd).rev())
+                    };
+                    fwd.map(move |d| (DeviceId(d), PartId(p)))
+                })
+                .collect(),
+        }
+    }
+
+    /// Where the activation produced by `(device, part)` goes next, or
+    /// `None` if this is the last stage of its route.
+    ///
+    /// This is the paper's `find_next_inst` (Algorithm 1) restricted to the
+    /// device/part coordinates: the micro id and instruction type pass
+    /// through unchanged.
+    pub fn next_hop(&self, device: DeviceId, part: PartId) -> Option<(DeviceId, PartId)> {
+        let d = device.0;
+        let p = part.0;
+        let dd = self.devices;
+        match self.scheme {
+            SchemeKind::GPipe | SchemeKind::OneFOneB => {
+                (d + 1 < dd).then(|| (DeviceId(d + 1), PartId(0)))
+            }
+            SchemeKind::Chimera => {
+                if p == 0 {
+                    (d + 1 < dd).then(|| (DeviceId(d + 1), PartId(0)))
+                } else {
+                    (d > 0).then(|| (DeviceId(d - 1), PartId(1)))
+                }
+            }
+            SchemeKind::Interleave { chunks } => {
+                if d + 1 < dd {
+                    Some((DeviceId(d + 1), PartId(p)))
+                } else if p + 1 < chunks {
+                    // Wrap around the ring into the next chunk.
+                    Some((DeviceId(0), PartId(p + 1)))
+                } else {
+                    None
+                }
+            }
+            SchemeKind::Wave { chunks } => {
+                let forward_dir = p % 2 == 0;
+                let at_edge = if forward_dir { d + 1 == dd } else { d == 0 };
+                if !at_edge {
+                    let nd = if forward_dir { d + 1 } else { d - 1 };
+                    Some((DeviceId(nd), PartId(p)))
+                } else if p + 1 < chunks {
+                    // Wave reflects: the next chunk starts on the same device.
+                    Some((DeviceId(d), PartId(p + 1)))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Where the activation consumed by `(device, part)` came from, or
+    /// `None` if this is the first stage of its route.
+    ///
+    /// This is the paper's `find_prev_inst` (Algorithm 1).
+    pub fn prev_hop(&self, device: DeviceId, part: PartId) -> Option<(DeviceId, PartId)> {
+        let d = device.0;
+        let p = part.0;
+        let dd = self.devices;
+        match self.scheme {
+            SchemeKind::GPipe | SchemeKind::OneFOneB => (d > 0).then(|| (DeviceId(d - 1), PartId(0))),
+            SchemeKind::Chimera => {
+                if p == 0 {
+                    (d > 0).then(|| (DeviceId(d - 1), PartId(0)))
+                } else {
+                    (d + 1 < dd).then(|| (DeviceId(d + 1), PartId(1)))
+                }
+            }
+            SchemeKind::Interleave { .. } => {
+                if d > 0 {
+                    Some((DeviceId(d - 1), PartId(p)))
+                } else if p > 0 {
+                    Some((DeviceId(dd - 1), PartId(p - 1)))
+                } else {
+                    None
+                }
+            }
+            SchemeKind::Wave { .. } => {
+                let forward_dir = p % 2 == 0;
+                let at_edge = if forward_dir { d == 0 } else { d + 1 == dd };
+                if !at_edge {
+                    let pd = if forward_dir { d - 1 } else { d + 1 };
+                    Some((DeviceId(pd), PartId(p)))
+                } else if p > 0 {
+                    Some((DeviceId(d), PartId(p - 1)))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// `(device, part)` holding the first stage of `route`.
+    pub fn first_hop(&self, route: u32) -> (DeviceId, PartId) {
+        match self.scheme {
+            SchemeKind::Chimera if route == 1 => (DeviceId(self.devices - 1), PartId(1)),
+            _ => (DeviceId(0), PartId(0)),
+        }
+    }
+
+    /// `(device, part)` holding the last stage of `route`.
+    pub fn last_hop(&self, route: u32) -> (DeviceId, PartId) {
+        *self
+            .forward_path(route)
+            .last()
+            .expect("forward path is never empty")
+    }
+
+    /// True if `(device, part)` holds the first stage of some route.
+    pub fn is_first_stage(&self, device: DeviceId, part: PartId) -> bool {
+        self.prev_hop(device, part).is_none()
+    }
+
+    /// True if `(device, part)` holds the last stage of some route.
+    pub fn is_last_stage(&self, device: DeviceId, part: PartId) -> bool {
+        self.next_hop(device, part).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_hops(t: &Topology) -> Vec<(DeviceId, PartId)> {
+        (0..t.devices)
+            .flat_map(|d| (0..t.parts_per_device()).map(move |p| (DeviceId(d), PartId(p))))
+            .collect()
+    }
+
+    #[test]
+    fn one_f_one_b_is_a_simple_chain() {
+        let t = Topology::new(SchemeKind::OneFOneB, 4);
+        assert_eq!(t.num_stages(), 4);
+        assert_eq!(t.parts_per_device(), 1);
+        assert_eq!(t.next_hop(DeviceId(0), PartId(0)), Some((DeviceId(1), PartId(0))));
+        assert_eq!(t.next_hop(DeviceId(3), PartId(0)), None);
+        assert_eq!(t.prev_hop(DeviceId(0), PartId(0)), None);
+        assert_eq!(
+            t.forward_path(0),
+            vec![
+                (DeviceId(0), PartId(0)),
+                (DeviceId(1), PartId(0)),
+                (DeviceId(2), PartId(0)),
+                (DeviceId(3), PartId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn chimera_routes_are_mirrored() {
+        let t = Topology::new(SchemeKind::Chimera, 4);
+        assert_eq!(t.num_routes(), 2);
+        assert_eq!(t.first_hop(0), (DeviceId(0), PartId(0)));
+        assert_eq!(t.first_hop(1), (DeviceId(3), PartId(1)));
+        assert_eq!(t.last_hop(0), (DeviceId(3), PartId(0)));
+        assert_eq!(t.last_hop(1), (DeviceId(0), PartId(1)));
+        // Up pipeline walks down the device indices.
+        assert_eq!(
+            t.next_hop(DeviceId(2), PartId(1)),
+            Some((DeviceId(1), PartId(1)))
+        );
+        // Stage mapping is mirrored between the parts.
+        assert_eq!(t.stage_of(DeviceId(1), PartId(0)), StageId(1));
+        assert_eq!(t.stage_of(DeviceId(1), PartId(1)), StageId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "even number of devices")]
+    fn chimera_rejects_odd_device_counts() {
+        let _ = Topology::new(SchemeKind::Chimera, 3);
+    }
+
+    #[test]
+    fn interleave_wraps_around_the_ring() {
+        let t = Topology::new(SchemeKind::Interleave { chunks: 2 }, 4);
+        assert_eq!(t.num_stages(), 8);
+        assert_eq!(t.stage_of(DeviceId(2), PartId(1)), StageId(6));
+        assert_eq!(
+            t.next_hop(DeviceId(3), PartId(0)),
+            Some((DeviceId(0), PartId(1)))
+        );
+        assert_eq!(
+            t.prev_hop(DeviceId(0), PartId(1)),
+            Some((DeviceId(3), PartId(0)))
+        );
+        assert_eq!(t.next_hop(DeviceId(3), PartId(1)), None);
+    }
+
+    #[test]
+    fn wave_reflects_on_device() {
+        let t = Topology::new(SchemeKind::Wave { chunks: 2 }, 4);
+        assert_eq!(t.num_stages(), 8);
+        // Chunk 0 runs 0->3, chunk 1 runs 3->0; the reflection happens on d3.
+        assert_eq!(
+            t.next_hop(DeviceId(3), PartId(0)),
+            Some((DeviceId(3), PartId(1)))
+        );
+        assert_eq!(
+            t.next_hop(DeviceId(3), PartId(1)),
+            Some((DeviceId(2), PartId(1)))
+        );
+        assert_eq!(t.last_hop(0), (DeviceId(0), PartId(1)));
+        // Stage ids increase monotonically along the path.
+        let path = t.forward_path(0);
+        let stages: Vec<u32> = path.iter().map(|&(d, p)| t.stage_of(d, p).0).collect();
+        assert_eq!(stages, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_and_prev_are_inverse_for_every_scheme() {
+        let topos = [
+            Topology::new(SchemeKind::GPipe, 5),
+            Topology::new(SchemeKind::OneFOneB, 6),
+            Topology::new(SchemeKind::Chimera, 6),
+            Topology::new(SchemeKind::Interleave { chunks: 3 }, 4),
+            Topology::new(SchemeKind::Wave { chunks: 3 }, 4),
+        ];
+        for t in &topos {
+            for (d, p) in all_hops(t) {
+                if let Some((nd, np)) = t.next_hop(d, p) {
+                    assert_eq!(
+                        t.prev_hop(nd, np),
+                        Some((d, p)),
+                        "prev(next(x)) != x for {:?} at ({d}, {p})",
+                        t.scheme
+                    );
+                }
+                if let Some((pd, pp)) = t.prev_hop(d, p) {
+                    assert_eq!(
+                        t.next_hop(pd, pp),
+                        Some((d, p)),
+                        "next(prev(x)) != x for {:?} at ({d}, {p})",
+                        t.scheme
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_paths_visit_every_stage_once() {
+        let topos = [
+            Topology::new(SchemeKind::OneFOneB, 8),
+            Topology::new(SchemeKind::Chimera, 8),
+            Topology::new(SchemeKind::Interleave { chunks: 2 }, 8),
+            Topology::new(SchemeKind::Wave { chunks: 2 }, 8),
+        ];
+        for t in &topos {
+            for route in 0..t.num_routes() {
+                let path = t.forward_path(route);
+                assert_eq!(path.len() as u32, t.num_stages());
+                let mut stages: Vec<u32> =
+                    path.iter().map(|&(d, p)| t.stage_of(d, p).0).collect();
+                stages.sort_unstable();
+                stages.dedup();
+                assert_eq!(stages.len() as u32, t.num_stages());
+                // The path must agree with next_hop chaining.
+                for w in path.windows(2) {
+                    assert_eq!(t.next_hop(w[0].0, w[0].1), Some((w[1].0, w[1].1)));
+                }
+                assert_eq!(path[0], t.first_hop(route));
+                assert_eq!(*path.last().unwrap(), t.last_hop(route));
+            }
+        }
+    }
+
+    #[test]
+    fn shape_letters() {
+        assert_eq!(SchemeKind::OneFOneB.shape_letter(), "V");
+        assert_eq!(SchemeKind::Chimera.shape_letter(), "X");
+        assert_eq!(SchemeKind::Interleave { chunks: 2 }.shape_letter(), "W");
+    }
+}

@@ -1,0 +1,734 @@
+//! Structural validation of schedules.
+//!
+//! A schedule is *well-formed* when every micro-batch performs one forward
+//! and one backward on every stage of its route, checkpointing is paired
+//! with exactly one recomputation placed inside the `CFW..BW` window, and
+//! every stage-boundary crossing carries correctly-tagged, correctly-ordered
+//! communication. These are exactly the dependencies the graph tuner
+//! (paper §5.1) promises to preserve across its passes, so the test suite
+//! re-validates after every transformation.
+
+use crate::exec::{check_executable, ExecError};
+use crate::ids::{DeviceId, MicroId, PartId};
+use crate::instr::{Instr, InstrKind, InstrTag};
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One validation failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationError {
+    /// A `(device, micro, part)` triple is missing a required instruction.
+    Missing {
+        /// Where the instruction was expected.
+        device: DeviceId,
+        /// Expected instruction class.
+        tag: InstrTag,
+        /// Micro-batch.
+        micro: MicroId,
+        /// Partition.
+        part: PartId,
+    },
+    /// A `(device, micro, part)` triple has a duplicated instruction.
+    Duplicate {
+        /// Offending device.
+        device: DeviceId,
+        /// Duplicated instruction class.
+        tag: InstrTag,
+        /// Micro-batch.
+        micro: MicroId,
+        /// Partition.
+        part: PartId,
+    },
+    /// An instruction appears on a device whose route never visits it.
+    Misplaced {
+        /// Offending device.
+        device: DeviceId,
+        /// The instruction.
+        instr: String,
+    },
+    /// Two instructions are in the wrong relative order.
+    OrderViolation {
+        /// Offending device.
+        device: DeviceId,
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+    /// A recompute exists for a non-checkpointed forward, or is missing for
+    /// a checkpointed one.
+    CheckpointMismatch {
+        /// Offending device.
+        device: DeviceId,
+        /// Micro-batch.
+        micro: MicroId,
+        /// Partition.
+        part: PartId,
+        /// Description.
+        what: String,
+    },
+    /// A p2p instruction names the wrong peer.
+    WrongPeer {
+        /// Offending device.
+        device: DeviceId,
+        /// The instruction.
+        instr: String,
+        /// The peer the topology dictates.
+        expected: DeviceId,
+    },
+    /// Symbolic execution failed (deadlock or message mismatch).
+    NotExecutable(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Missing {
+                device,
+                tag,
+                micro,
+                part,
+            } => write!(f, "{device}: missing {tag:?} for ({micro}, {part})"),
+            ValidationError::Duplicate {
+                device,
+                tag,
+                micro,
+                part,
+            } => write!(f, "{device}: duplicate {tag:?} for ({micro}, {part})"),
+            ValidationError::Misplaced { device, instr } => {
+                write!(f, "{device}: instruction {instr} does not belong here")
+            }
+            ValidationError::OrderViolation { device, what } => {
+                write!(f, "{device}: order violation: {what}")
+            }
+            ValidationError::CheckpointMismatch {
+                device,
+                micro,
+                part,
+                what,
+            } => write!(f, "{device}: checkpoint mismatch for ({micro}, {part}): {what}"),
+            ValidationError::WrongPeer {
+                device,
+                instr,
+                expected,
+            } => write!(f, "{device}: {instr} should target {expected}"),
+            ValidationError::NotExecutable(e) => write!(f, "schedule not executable: {e}"),
+        }
+    }
+}
+
+/// Validation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidateOptions {
+    /// Check communication instructions (presence, tagging, ordering). When
+    /// the schedule contains no p2p instructions at all this is skipped
+    /// automatically (compute-only schedules are legal for analysis).
+    pub check_comm: bool,
+    /// Channel capacity used by the executability check.
+    pub channel_capacity: usize,
+    /// Run the symbolic execution (deadlock) check.
+    pub check_executable: bool,
+}
+
+impl Default for ValidateOptions {
+    fn default() -> Self {
+        Self {
+            check_comm: true,
+            channel_capacity: 1,
+            check_executable: true,
+        }
+    }
+}
+
+/// Validates `schedule` with default options.
+pub fn validate(schedule: &Schedule) -> Result<(), Vec<ValidationError>> {
+    validate_with(schedule, ValidateOptions::default())
+}
+
+/// Validates `schedule` with explicit options. Returns *all* failures.
+pub fn validate_with(
+    schedule: &Schedule,
+    opts: ValidateOptions,
+) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    let _topo = &schedule.topology;
+    let has_comm = schedule
+        .programs()
+        .iter()
+        .any(|p| p.count(|i| i.kind.is_p2p()) > 0);
+    let check_comm = opts.check_comm && has_comm;
+
+    // -- Per (micro, hop) compute + communication requirements ------------
+    for m in 0..schedule.micros {
+        let micro = MicroId(m);
+        let path = schedule.forward_path_of(micro);
+        for (hop_idx, &(dev, part)) in path.iter().enumerate() {
+            let prog = schedule.program(dev);
+            check_unique(&mut errors, prog, dev, InstrTag::Forward, micro, part);
+            // Exactly one full backward XOR a split (Bi + Bw) pair.
+            let n_b = count_tag(prog, InstrTag::Backward, micro, part);
+            let n_bi = count_tag(prog, InstrTag::BackwardInput, micro, part);
+            let n_bw = count_tag(prog, InstrTag::BackwardWeight, micro, part);
+            match (n_b, n_bi, n_bw) {
+                (1, 0, 0) => {}
+                (0, 1, 1) => {
+                    let bi = prog
+                        .position_of(InstrTag::BackwardInput, micro, part)
+                        .expect("counted");
+                    let bwp = prog
+                        .position_of(InstrTag::BackwardWeight, micro, part)
+                        .expect("counted");
+                    if bwp < bi {
+                        errors.push(ValidationError::OrderViolation {
+                            device: dev,
+                            what: format!(
+                                "Bw{m}^{} before its input-gradient half",
+                                part.0
+                            ),
+                        });
+                    }
+                }
+                (0, 0, 0) => errors.push(ValidationError::Missing {
+                    device: dev,
+                    tag: InstrTag::Backward,
+                    micro,
+                    part,
+                }),
+                _ => errors.push(ValidationError::Duplicate {
+                    device: dev,
+                    tag: InstrTag::Backward,
+                    micro,
+                    part,
+                }),
+            }
+            let fw = prog.forward_pos(micro, part);
+            // Ordering and comm anchor on the instruction that unblocks the
+            // upstream stage: the backward, or the Bi half when split.
+            let bw = prog.effective_backward_pos(micro, part);
+            if let (Some(fw), Some(bw)) = (fw, bw) {
+                if bw < fw {
+                    errors.push(ValidationError::OrderViolation {
+                        device: dev,
+                        what: format!("B{m}^{} before its forward", part.0),
+                    });
+                }
+                // Checkpoint / recompute pairing.
+                let is_ckpt = prog.instrs()[fw].is_ckpt_forward();
+                let rc = prog.recompute_pos(micro, part);
+                match (is_ckpt, rc) {
+                    (true, None) => errors.push(ValidationError::CheckpointMismatch {
+                        device: dev,
+                        micro,
+                        part,
+                        what: "checkpointed forward without recompute".into(),
+                    }),
+                    (false, Some(_)) => errors.push(ValidationError::CheckpointMismatch {
+                        device: dev,
+                        micro,
+                        part,
+                        what: "recompute without checkpointed forward".into(),
+                    }),
+                    (true, Some(rc)) => {
+                        if rc <= fw || rc >= bw {
+                            errors.push(ValidationError::CheckpointMismatch {
+                                device: dev,
+                                micro,
+                                part,
+                                what: format!(
+                                    "recompute at #{rc} outside forward (#{fw})..backward (#{bw}) window"
+                                ),
+                            });
+                        }
+                        let n = prog.count(|i| {
+                            i.kind == InstrKind::Recompute && i.micro == micro && i.part == part
+                        });
+                        if n > 1 {
+                            errors.push(ValidationError::Duplicate {
+                                device: dev,
+                                tag: InstrTag::Recompute,
+                                micro,
+                                part,
+                            });
+                        }
+                    }
+                    (false, None) => {}
+                }
+
+                if check_comm {
+                    check_hop_comm(
+                        &mut errors,
+                        schedule,
+                        micro,
+                        &path,
+                        hop_idx,
+                        dev,
+                        part,
+                        fw,
+                        bw,
+                    );
+                }
+            }
+        }
+    }
+
+    // -- No stray compute on devices off the route (or out-of-range) -------
+    for prog in schedule.programs() {
+        for (_, i) in prog.iter() {
+            if i.kind.is_compute() {
+                if i.micro.0 >= schedule.micros {
+                    errors.push(ValidationError::Misplaced {
+                        device: prog.device,
+                        instr: format!("{i} (micro out of range)"),
+                    });
+                    continue;
+                }
+                let path = schedule.forward_path_of(i.micro);
+                if !path.contains(&(prog.device, i.part)) {
+                    errors.push(ValidationError::Misplaced {
+                        device: prog.device,
+                        instr: i.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // -- Collective bookkeeping --------------------------------------------
+    let ar_counts: Vec<usize> = schedule
+        .programs()
+        .iter()
+        .map(|p| p.count(|i| i.kind == InstrKind::AllReduce))
+        .collect();
+    if ar_counts.iter().any(|&c| c != ar_counts[0]) {
+        errors.push(ValidationError::OrderViolation {
+            device: DeviceId(0),
+            what: format!("uneven AllReduce counts across devices: {ar_counts:?}"),
+        });
+    }
+
+    // -- Executability ------------------------------------------------------
+    if opts.check_executable && errors.is_empty() {
+        if let Err(e) = check_executable(schedule, opts.channel_capacity) {
+            errors.push(ValidationError::NotExecutable(e.to_string()));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Executability check with a configurable channel capacity, re-exported for
+/// callers that only care about deadlock-freedom.
+pub fn check_deadlock_free(schedule: &Schedule, channel_capacity: usize) -> Result<(), ExecError> {
+    check_executable(schedule, channel_capacity).map(|_| ())
+}
+
+fn count_tag(
+    prog: &crate::list::DeviceProgram,
+    tag: InstrTag,
+    micro: MicroId,
+    part: PartId,
+) -> usize {
+    prog.count(|i| i.kind.tag() == tag && i.micro == micro && i.part == part)
+}
+
+fn check_unique(
+    errors: &mut Vec<ValidationError>,
+    prog: &crate::list::DeviceProgram,
+    device: DeviceId,
+    tag: InstrTag,
+    micro: MicroId,
+    part: PartId,
+) {
+    let n = count_tag(prog, tag, micro, part);
+    match n {
+        0 => errors.push(ValidationError::Missing {
+            device,
+            tag,
+            micro,
+            part,
+        }),
+        1 => {}
+        _ => errors.push(ValidationError::Duplicate {
+            device,
+            tag,
+            micro,
+            part,
+        }),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_hop_comm(
+    errors: &mut Vec<ValidationError>,
+    schedule: &Schedule,
+    micro: MicroId,
+    path: &[(DeviceId, PartId)],
+    hop_idx: usize,
+    dev: DeviceId,
+    part: PartId,
+    fw: usize,
+    bw: usize,
+) {
+    let prog = schedule.program(dev);
+    let m = micro;
+
+    // Forward-direction activation: this hop sends to the next hop (if any,
+    // and if it lives on a different device — wave reflections stay local).
+    if let Some(&(next_dev, _)) = path.get(hop_idx + 1) {
+        if next_dev != dev {
+            // SA(m, part) on this device, after the forward.
+            match find_p2p(prog, InstrTag::SendAct, m, part) {
+                Some((pos, instr)) => {
+                    if instr.kind.peer() != Some(next_dev) {
+                        errors.push(ValidationError::WrongPeer {
+                            device: dev,
+                            instr: instr.to_string(),
+                            expected: next_dev,
+                        });
+                    }
+                    if pos < fw {
+                        errors.push(ValidationError::OrderViolation {
+                            device: dev,
+                            what: format!("SA{}^{} before its forward", m.0, part.0),
+                        });
+                    }
+                }
+                None => errors.push(ValidationError::Missing {
+                    device: dev,
+                    tag: InstrTag::SendAct,
+                    micro: m,
+                    part,
+                }),
+            }
+            // RA(m, part) on the next device, before its forward. The
+            // message is tagged with the *producer's* part.
+            let next_prog = schedule.program(next_dev);
+            let (_, next_part) = path[hop_idx + 1];
+            let next_fw = next_prog.forward_pos(m, next_part);
+            match find_p2p(next_prog, InstrTag::RecvAct, m, part) {
+                Some((pos, instr)) => {
+                    if instr.kind.peer() != Some(dev) {
+                        errors.push(ValidationError::WrongPeer {
+                            device: next_dev,
+                            instr: instr.to_string(),
+                            expected: dev,
+                        });
+                    }
+                    if let Some(next_fw) = next_fw {
+                        if pos > next_fw {
+                            errors.push(ValidationError::OrderViolation {
+                                device: next_dev,
+                                what: format!(
+                                    "RA{}^{} after the forward that consumes it",
+                                    m.0, part.0
+                                ),
+                            });
+                        }
+                    }
+                }
+                None => errors.push(ValidationError::Missing {
+                    device: next_dev,
+                    tag: InstrTag::RecvAct,
+                    micro: m,
+                    part,
+                }),
+            }
+        }
+    }
+
+    // Backward-direction gradient: this hop's backward sends to the
+    // previous hop (if any, on a different device); symmetric tagging.
+    if hop_idx > 0 {
+        let (prev_dev, prev_part) = path[hop_idx - 1];
+        if prev_dev != dev {
+            match find_p2p(prog, InstrTag::SendGrad, m, part) {
+                Some((pos, instr)) => {
+                    if instr.kind.peer() != Some(prev_dev) {
+                        errors.push(ValidationError::WrongPeer {
+                            device: dev,
+                            instr: instr.to_string(),
+                            expected: prev_dev,
+                        });
+                    }
+                    if pos < bw {
+                        errors.push(ValidationError::OrderViolation {
+                            device: dev,
+                            what: format!("SG{}^{} before its backward", m.0, part.0),
+                        });
+                    }
+                }
+                None => errors.push(ValidationError::Missing {
+                    device: dev,
+                    tag: InstrTag::SendGrad,
+                    micro: m,
+                    part,
+                }),
+            }
+            let prev_prog = schedule.program(prev_dev);
+            let prev_bw = prev_prog.effective_backward_pos(m, prev_part);
+            match find_p2p(prev_prog, InstrTag::RecvGrad, m, part) {
+                Some((pos, instr)) => {
+                    if instr.kind.peer() != Some(dev) {
+                        errors.push(ValidationError::WrongPeer {
+                            device: prev_dev,
+                            instr: instr.to_string(),
+                            expected: dev,
+                        });
+                    }
+                    if let Some(prev_bw) = prev_bw {
+                        if pos > prev_bw {
+                            errors.push(ValidationError::OrderViolation {
+                                device: prev_dev,
+                                what: format!(
+                                    "RG{}^{} after the backward that consumes it",
+                                    m.0, part.0
+                                ),
+                            });
+                        }
+                    }
+                }
+                None => errors.push(ValidationError::Missing {
+                    device: prev_dev,
+                    tag: InstrTag::RecvGrad,
+                    micro: m,
+                    part,
+                }),
+            }
+        }
+    }
+}
+
+fn find_p2p(
+    prog: &crate::list::DeviceProgram,
+    tag: InstrTag,
+    micro: MicroId,
+    part: PartId,
+) -> Option<(usize, &Instr)> {
+    prog.iter()
+        .find(|(_, i)| i.kind.tag() == tag && i.micro == micro && i.part == part)
+        .map(|(pos, i)| (pos, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{SchemeKind, Topology};
+
+    /// A hand-built, fully correct 2-device 1-micro schedule with comm.
+    fn good() -> Schedule {
+        let topo = Topology::new(SchemeKind::OneFOneB, 2);
+        let mut s = Schedule::empty(topo, 1, vec![0]);
+        {
+            let d0 = s.program_mut(DeviceId(0));
+            d0.push(Instr::forward(0u32, 0u32));
+            d0.push(Instr::send_act(0u32, 0u32, DeviceId(1)));
+            d0.push(Instr::recv_grad(0u32, 0u32, DeviceId(1)));
+            d0.push(Instr::backward(0u32, 0u32));
+        }
+        {
+            let d1 = s.program_mut(DeviceId(1));
+            d1.push(Instr::recv_act(0u32, 0u32, DeviceId(0)));
+            d1.push(Instr::forward(0u32, 0u32));
+            d1.push(Instr::backward(0u32, 0u32));
+            d1.push(Instr::send_grad(0u32, 0u32, DeviceId(0)));
+        }
+        s
+    }
+
+    #[test]
+    fn good_schedule_validates() {
+        assert!(validate(&good()).is_ok());
+    }
+
+    #[test]
+    fn missing_backward_is_reported() {
+        let mut s = good();
+        let pos = s
+            .program(DeviceId(1))
+            .backward_pos(MicroId(0), PartId(0))
+            .unwrap();
+        s.program_mut(DeviceId(1)).remove(pos);
+        let errs = validate(&s).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::Missing {
+                tag: InstrTag::Backward,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn duplicate_forward_is_reported() {
+        let mut s = good();
+        s.program_mut(DeviceId(0)).insert(0, Instr::forward(0u32, 0u32));
+        let errs = validate(&s).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::Duplicate {
+                tag: InstrTag::Forward,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn ckpt_without_recompute_is_reported() {
+        let mut s = good();
+        s.program_mut(DeviceId(0))
+            .replace_kind(0, InstrKind::Forward { ckpt: true });
+        let errs = validate(&s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::CheckpointMismatch { .. })));
+    }
+
+    #[test]
+    fn recompute_in_window_is_accepted() {
+        let mut s = good();
+        s.program_mut(DeviceId(0))
+            .replace_kind(0, InstrKind::Forward { ckpt: true });
+        // Insert the recompute just before the backward.
+        let bw = s
+            .program(DeviceId(0))
+            .backward_pos(MicroId(0), PartId(0))
+            .unwrap();
+        s.program_mut(DeviceId(0))
+            .insert(bw, Instr::recompute(0u32, 0u32));
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn recompute_after_backward_is_rejected() {
+        let mut s = good();
+        s.program_mut(DeviceId(0))
+            .replace_kind(0, InstrKind::Forward { ckpt: true });
+        s.program_mut(DeviceId(0)).push(Instr::recompute(0u32, 0u32));
+        let errs = validate(&s).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::CheckpointMismatch { what, .. } if what.contains("window")
+        )));
+    }
+
+    #[test]
+    fn wrong_peer_is_reported() {
+        let mut s = good();
+        let pos = s
+            .program(DeviceId(0))
+            .position_of(InstrTag::SendAct, MicroId(0), PartId(0))
+            .unwrap();
+        s.program_mut(DeviceId(0))
+            .replace_kind(pos, InstrKind::SendAct { peer: DeviceId(0) });
+        let errs = validate(&s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::WrongPeer { .. })));
+    }
+
+    #[test]
+    fn compute_only_schedules_skip_comm_checks() {
+        let topo = Topology::new(SchemeKind::OneFOneB, 2);
+        let mut s = Schedule::empty(topo, 1, vec![0]);
+        for d in 0..2u32 {
+            let p = s.program_mut(DeviceId(d));
+            p.push(Instr::forward(0u32, 0u32));
+            p.push(Instr::backward(0u32, 0u32));
+        }
+        assert!(validate(&s).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_micro_is_reported_not_panicking() {
+        let mut s = good();
+        // Corrupt a backward to reference a micro that does not exist.
+        let pos = s
+            .program(DeviceId(1))
+            .backward_pos(MicroId(0), PartId(0))
+            .unwrap();
+        s.program_mut(DeviceId(1)).remove(pos);
+        s.program_mut(DeviceId(1)).insert(pos, Instr::backward(9u32, 0u32));
+        let errs = validate(&s).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::Misplaced { instr, .. } if instr.contains("out of range")
+        )));
+    }
+
+    #[test]
+    fn misplaced_compute_is_reported() {
+        let topo = Topology::new(SchemeKind::OneFOneB, 2);
+        let mut s = Schedule::empty(topo, 1, vec![0]);
+        for d in 0..2u32 {
+            let p = s.program_mut(DeviceId(d));
+            p.push(Instr::forward(0u32, 0u32));
+            p.push(Instr::backward(0u32, 0u32));
+        }
+        // Part 1 does not exist in a V-shape pipeline.
+        s.program_mut(DeviceId(0)).push(Instr::forward(0u32, 1u32));
+        let errs = validate(&s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::Misplaced { .. })));
+    }
+
+    #[test]
+    fn split_backward_pair_is_accepted() {
+        let mut s = good();
+        // Replace d1's backward with Bi + Bw.
+        let bw = s
+            .program(DeviceId(1))
+            .backward_pos(MicroId(0), PartId(0))
+            .unwrap();
+        s.program_mut(DeviceId(1))
+            .replace_kind(bw, InstrKind::BackwardInput);
+        s.program_mut(DeviceId(1))
+            .insert(bw + 1, Instr::backward_weight(0u32, 0u32));
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn weight_half_before_input_half_is_rejected() {
+        let mut s = good();
+        let bw = s
+            .program(DeviceId(1))
+            .backward_pos(MicroId(0), PartId(0))
+            .unwrap();
+        s.program_mut(DeviceId(1))
+            .replace_kind(bw, InstrKind::BackwardInput);
+        s.program_mut(DeviceId(1))
+            .insert(bw, Instr::backward_weight(0u32, 0u32));
+        let errs = validate(&s).unwrap_err();
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidationError::OrderViolation { what, .. } if what.contains("input-gradient"))
+        ));
+    }
+
+    #[test]
+    fn lone_input_half_is_rejected() {
+        let mut s = good();
+        let bw = s
+            .program(DeviceId(1))
+            .backward_pos(MicroId(0), PartId(0))
+            .unwrap();
+        s.program_mut(DeviceId(1))
+            .replace_kind(bw, InstrKind::BackwardInput);
+        let errs = validate(&s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::Duplicate { .. } | ValidationError::Missing { .. })));
+    }
+
+    #[test]
+    fn uneven_allreduce_counts_are_reported() {
+        let mut s = good();
+        s.program_mut(DeviceId(0)).push(Instr::all_reduce());
+        let errs = validate(&s).unwrap_err();
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidationError::OrderViolation { what, .. } if what.contains("AllReduce"))
+        ));
+    }
+}

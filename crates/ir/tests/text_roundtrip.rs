@@ -1,0 +1,71 @@
+//! Property tests: the text format round-trips arbitrary well-formed
+//! schedules and arbitrary instructions.
+
+use mario_ir::text::{from_text, parse_instr, to_text};
+use mario_ir::{DeviceId, Instr, Schedule, SchemeKind, Topology};
+use proptest::prelude::*;
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let m = 0u32..1000;
+    let p = 0u32..8;
+    let peer = (0u32..64).prop_map(DeviceId);
+    prop_oneof![
+        (m.clone(), p.clone()).prop_map(|(m, p)| Instr::forward(m, p)),
+        (m.clone(), p.clone()).prop_map(|(m, p)| Instr::ckpt_forward(m, p)),
+        (m.clone(), p.clone()).prop_map(|(m, p)| Instr::backward(m, p)),
+        (m.clone(), p.clone()).prop_map(|(m, p)| Instr::backward_input(m, p)),
+        (m.clone(), p.clone()).prop_map(|(m, p)| Instr::backward_weight(m, p)),
+        (m.clone(), p.clone()).prop_map(|(m, p)| Instr::recompute(m, p)),
+        (m.clone(), p.clone(), peer.clone()).prop_map(|(m, p, d)| Instr::send_act(m, p, d)),
+        (m.clone(), p.clone(), peer.clone()).prop_map(|(m, p, d)| Instr::recv_act(m, p, d)),
+        (m.clone(), p.clone(), peer.clone()).prop_map(|(m, p, d)| Instr::send_grad(m, p, d)),
+        (m, p, peer).prop_map(|(m, p, d)| Instr::recv_grad(m, p, d)),
+        Just(Instr::all_reduce()),
+        Just(Instr::optimizer_step()),
+    ]
+}
+
+fn arb_scheme() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::GPipe),
+        Just(SchemeKind::OneFOneB),
+        Just(SchemeKind::Chimera),
+        (1u32..4).prop_map(|c| SchemeKind::Interleave { chunks: c }),
+        (1u32..4).prop_map(|c| SchemeKind::Wave { chunks: c }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn instr_notation_round_trips(i in arb_instr()) {
+        prop_assert_eq!(parse_instr(&i.to_string()), Some(i));
+    }
+
+    /// Arbitrary (even nonsensical) instruction soups survive the schedule
+    /// round trip — the format is a faithful container, not a validator.
+    #[test]
+    fn schedule_text_round_trips(
+        scheme in arb_scheme(),
+        devices in 1u32..6,
+        micros in 0u32..6,
+        instrs in prop::collection::vec(arb_instr(), 0..40),
+    ) {
+        let devices = if matches!(scheme, SchemeKind::Chimera) {
+            devices * 2
+        } else {
+            devices
+        };
+        let routes = (0..micros)
+            .map(|m| m % scheme.num_routes())
+            .collect::<Vec<_>>();
+        let topo = Topology::new(scheme, devices);
+        let mut s = Schedule::empty(topo, micros, routes);
+        for (i, instr) in instrs.into_iter().enumerate() {
+            let d = DeviceId(i as u32 % devices);
+            s.program_mut(d).push(instr);
+        }
+        let text = to_text(&s);
+        let back = from_text(&text).unwrap();
+        prop_assert_eq!(s, back);
+    }
+}

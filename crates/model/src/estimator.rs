@@ -1,0 +1,121 @@
+//! Linear-regression estimators (`y = a·n + b`), the paper's instrument for
+//! turning a handful of profiled samples into per-instruction predictions
+//! (§5.2: "We apply linear regression to predict execution time and
+//! static/dynamic memory based on the number of transformer blocks, and
+//! the bias b represents the framework overhead").
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = a·x + b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearEstimator {
+    /// Slope: cost per transformer block (or per micro-batch for p2p).
+    pub a: f64,
+    /// Intercept: fixed framework overhead.
+    pub b: f64,
+}
+
+impl LinearEstimator {
+    /// Least-squares fit over `(x, y)` samples.
+    ///
+    /// # Panics
+    /// If fewer than two samples are given or all `x` are identical.
+    pub fn fit(samples: &[(f64, f64)]) -> Self {
+        assert!(samples.len() >= 2, "need at least two samples");
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|s| s.0).sum();
+        let sy: f64 = samples.iter().map(|s| s.1).sum();
+        let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+        let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+        let denom = n * sxx - sx * sx;
+        assert!(
+            denom.abs() > f64::EPSILON * n * sxx.max(1.0),
+            "degenerate fit: all x identical"
+        );
+        let a = (n * sxy - sx * sy) / denom;
+        let b = (sy - a * sx) / n;
+        Self { a, b }
+    }
+
+    /// Predicted value at `x`, clamped at zero.
+    pub fn predict(&self, x: f64) -> f64 {
+        (self.a * x + self.b).max(0.0)
+    }
+
+    /// Coefficient of determination R² against the given samples.
+    pub fn r_squared(&self, samples: &[(f64, f64)]) -> f64 {
+        let mean = samples.iter().map(|s| s.1).sum::<f64>() / samples.len() as f64;
+        let ss_tot: f64 = samples.iter().map(|s| (s.1 - mean).powi(2)).sum();
+        let ss_res: f64 = samples
+            .iter()
+            .map(|s| (s.1 - self.predict(s.0)).powi(2))
+            .sum();
+        if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+}
+
+/// Mean absolute percentage error between predictions and ground truth,
+/// the metric the paper reports for simulator accuracy (§6.6).
+pub fn mape(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "MAPE over empty set");
+    let sum: f64 = pairs
+        .iter()
+        .map(|&(actual, predicted)| {
+            assert!(actual != 0.0, "MAPE undefined for zero actuals");
+            ((predicted - actual) / actual).abs()
+        })
+        .sum();
+    100.0 * sum / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let samples: Vec<(f64, f64)> = (1..=8).map(|x| (x as f64, 3.5 * x as f64 + 7.0)).collect();
+        let e = LinearEstimator::fit(&samples);
+        assert!((e.a - 3.5).abs() < 1e-9);
+        assert!((e.b - 7.0).abs() < 1e-9);
+        assert!((e.r_squared(&samples) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_slope_approximately() {
+        // Deterministic pseudo-noise.
+        let samples: Vec<(f64, f64)> = (1..=20)
+            .map(|x| {
+                let noise = if x % 2 == 0 { 0.5 } else { -0.5 };
+                (x as f64, 2.0 * x as f64 + 10.0 + noise)
+            })
+            .collect();
+        let e = LinearEstimator::fit(&samples);
+        assert!((e.a - 2.0).abs() < 0.05, "a = {}", e.a);
+        assert!((e.b - 10.0).abs() < 1.0, "b = {}", e.b);
+        assert!(e.r_squared(&samples) > 0.99);
+    }
+
+    #[test]
+    fn predict_clamps_negative() {
+        let e = LinearEstimator { a: 1.0, b: -10.0 };
+        assert_eq!(e.predict(2.0), 0.0);
+        assert_eq!(e.predict(20.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn identical_x_panics() {
+        let _ = LinearEstimator::fit(&[(1.0, 2.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    fn mape_basics() {
+        assert!((mape(&[(100.0, 105.0), (100.0, 95.0)]) - 5.0).abs() < 1e-9);
+        assert_eq!(mape(&[(50.0, 50.0)]), 0.0);
+    }
+}

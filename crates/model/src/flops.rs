@@ -1,0 +1,81 @@
+//! Analytic FLOP counts for transformer training (the standard GEMM +
+//! attention accounting of Narayanan et al. / Korthikanti et al.).
+
+use crate::config::ModelConfig;
+
+/// Forward FLOPs of one transformer layer for a micro-batch of `b`
+/// sequences, with tensor parallelism `tp` dividing the work.
+///
+/// Per layer: QKV + output projections `8·b·s·h²`, FFN `4·ffn·b·s·h²`,
+/// attention score/context GEMMs `4·b·s²·h`.
+pub fn layer_forward_flops(m: &ModelConfig, b: u32, tp: u32) -> f64 {
+    let s = m.seqlen as f64;
+    let h = m.hidden as f64;
+    let b = b as f64;
+    let gemm = (8.0 + 4.0 * m.ffn_mult) * b * s * h * h;
+    let attn = 4.0 * b * s * s * h;
+    (gemm + attn) / tp as f64
+}
+
+/// Forward FLOPs of the embedding + LM-head computation (on the first/last
+/// stages) for a micro-batch of `b`.
+pub fn embedding_forward_flops(m: &ModelConfig, b: u32, tp: u32) -> f64 {
+    let s = m.seqlen as f64;
+    let h = m.hidden as f64;
+    let v = m.vocab as f64;
+    // LM head projection dominates; input embedding lookup is a gather.
+    2.0 * b as f64 * s * h * v / tp as f64
+}
+
+/// Backward FLOPs: `ratio ×` forward (2.0 by FLOP counting; ≈1.6 measured).
+pub fn layer_backward_flops(m: &ModelConfig, b: u32, tp: u32, ratio: f64) -> f64 {
+    layer_forward_flops(m, b, tp) * ratio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_24bsh2_for_gpt() {
+        // ffn_mult = 4 -> gemm term is 24·b·s·h².
+        let m = ModelConfig::gpt3_1_6b();
+        let b = 1;
+        let s = m.seqlen as f64;
+        let h = m.hidden as f64;
+        let expect = 24.0 * s * h * h + 4.0 * s * s * h;
+        assert!((layer_forward_flops(&m, b, 1) - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn tp_divides_flops() {
+        let m = ModelConfig::gpt3_13b();
+        let f1 = layer_forward_flops(&m, 2, 1);
+        let f2 = layer_forward_flops(&m, 2, 2);
+        assert!((f1 / f2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_scales_by_ratio() {
+        let m = ModelConfig::llama2_13b();
+        let f = layer_forward_flops(&m, 2, 1);
+        assert!((layer_backward_flops(&m, 2, 1, 1.6) - 1.6 * f).abs() < 1.0);
+    }
+
+    #[test]
+    fn attention_term_grows_quadratically_with_seqlen() {
+        let m = ModelConfig::gpt3_1_6b();
+        let short = layer_forward_flops(&m, 1, 1);
+        let long = layer_forward_flops(&m.clone().with_seqlen(2048), 1, 1);
+        // Doubling s at least doubles (gemm linear in s) and the attention
+        // share quadruples, so the ratio is strictly above 2.
+        assert!(long / short > 2.0);
+        assert!(long / short < 4.0);
+    }
+
+    #[test]
+    fn embedding_flops_positive() {
+        let m = ModelConfig::gpt3_1_6b();
+        assert!(embedding_forward_flops(&m, 2, 1) > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mario-model — transformer cost & memory model, hardware model, and
+//! lightweight profiling
+//!
+//! The synthetic substrate standing in for the paper's Megatron-DeepSpeed +
+//! A100 testbed:
+//!
+//! * [`config`] — model presets (Table 4) and 3D-parallel layouts;
+//! * [`flops`] / [`memory`] — analytic FLOP and byte accounting for
+//!   transformer layers (Korthikanti-style activation formulas);
+//! * [`hardware`] — the A100-40G device/interconnect model;
+//! * [`partition`] — layer→stage assignment, even and ramped (§7.1);
+//! * [`estimator`] — `y = a·n + b` linear regression (§5.2);
+//! * [`profiler`] — synthetic lightweight profiling producing the
+//!   regression-backed cost model the simulator consumes;
+//! * [`cost`] — [`cost::AnalyticCost`], the [`mario_ir::CostModel`]
+//!   implementation used by both the simulator and the cluster emulator.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod estimator;
+pub mod flops;
+pub mod hardware;
+pub mod memory;
+pub mod partition;
+pub mod profiler;
+
+pub use config::{ModelConfig, ParallelConfig};
+pub use cost::{AnalyticCost, TrainSetup};
+pub use estimator::{mape, LinearEstimator};
+pub use hardware::GpuSpec;
+pub use partition::StagePartition;
+pub use profiler::{profile, profile_and_build, profiled_cost, ProfileReport, ProfilerConfig};

@@ -1,0 +1,105 @@
+//! Analytic memory model: weights/optimizer (static) and activations
+//! (dynamic), following the accounting of Korthikanti et al. ("Reducing
+//! activation recomputation in large transformer models"), which the paper
+//! cites for its activation formulas.
+
+use crate::config::ModelConfig;
+
+/// Full activation bytes retained per transformer layer by one micro-batch
+/// of `b` sequences (no checkpointing, no flash attention):
+/// `s·b·h·(34 + 5·a·s/h)` at 2 bytes/element granularity baked into the
+/// constants, divided by `tp` (with sequence parallelism).
+pub fn layer_activation_bytes(m: &ModelConfig, b: u32, tp: u32) -> u64 {
+    let s = m.seqlen as f64;
+    let h = m.hidden as f64;
+    let a = m.heads as f64;
+    let b = b as f64;
+    let per = s * b * h * (34.0 + 5.0 * a * s / h);
+    (per / tp as f64) as u64
+}
+
+/// Checkpoint bytes stashed per layer-stage *input* for one micro-batch:
+/// just the boundary tensor `s·b·h·bytes` (the whole stage keeps exactly one
+/// input when coarse-grained checkpointing is applied, §7.2).
+pub fn boundary_bytes(m: &ModelConfig, b: u32, tp: u32) -> u64 {
+    let s = m.seqlen as u64;
+    let h = m.hidden as u64;
+    s * b as u64 * h * m.bytes_per_elem as u64 / tp as u64
+}
+
+/// Static bytes per transformer layer: parameters × (weights + grads +
+/// fp32 optimizer states).
+pub fn layer_static_bytes(m: &ModelConfig, static_bytes_per_param: f64, tp: u32) -> u64 {
+    (m.params_per_layer() as f64 * static_bytes_per_param / tp as f64) as u64
+}
+
+/// Static bytes of the embedding/LM-head (first/last stage extra).
+pub fn embedding_static_bytes(m: &ModelConfig, static_bytes_per_param: f64, tp: u32) -> u64 {
+    (m.embedding_params() as f64 * static_bytes_per_param / tp as f64) as u64
+}
+
+/// Gradient bytes per transformer layer (what the DP all-reduce moves).
+pub fn layer_grad_bytes(m: &ModelConfig, tp: u32) -> u64 {
+    m.params_per_layer() * m.bytes_per_elem as u64 / tp as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_formula_matches_korthikanti() {
+        // GPT3-13B, mbs 2: s·b·h·(34 + 5·a·s/h)
+        let m = ModelConfig::gpt3_13b();
+        let b = 2u32;
+        let s = 1024.0;
+        let h = 3000.0;
+        let a = 40.0;
+        let expect = s * 2.0 * h * (34.0 + 5.0 * a * s / h);
+        let got = layer_activation_bytes(&m, b, 1) as f64;
+        assert!((got - expect).abs() / expect < 1e-9);
+        // ~629 MB per layer per micro-batch: the paper-scale sanity check.
+        assert!(got > 500e6 && got < 700e6, "{got}");
+    }
+
+    #[test]
+    fn checkpointing_shrinks_per_layer_memory_dramatically() {
+        let m = ModelConfig::gpt3_13b();
+        let full = layer_activation_bytes(&m, 2, 1);
+        let ckpt = boundary_bytes(&m, 2, 1);
+        assert!(
+            full / ckpt > 50,
+            "checkpoint should be tiny vs full ({full} / {ckpt})"
+        );
+    }
+
+    #[test]
+    fn tp_divides_activations_and_weights() {
+        let m = ModelConfig::llama2_13b();
+        assert_eq!(
+            layer_activation_bytes(&m, 2, 2),
+            layer_activation_bytes(&m, 2, 1) / 2
+        );
+        let s1 = layer_static_bytes(&m, 16.0, 1);
+        let s2 = layer_static_bytes(&m, 16.0, 2);
+        assert!((s1 as f64 / s2 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn static_memory_at_paper_scale() {
+        // GPT3-13B over 32 pipeline stages: ~13B·16B/32 ≈ 6.5 GB of model
+        // state per device; plus ~2 GB framework lands near Table 5's
+        // ~9.8 GB minimum.
+        let m = ModelConfig::gpt3_13b();
+        let per_stage_layers = m.layers / 32;
+        let bytes = layer_static_bytes(&m, 16.0, 1) * per_stage_layers as u64;
+        let gb = bytes as f64 / (1u64 << 30) as f64;
+        assert!(gb > 5.0 && gb < 9.0, "{gb:.2} GB/stage");
+    }
+
+    #[test]
+    fn grad_bytes_are_bf16_weights() {
+        let m = ModelConfig::gpt3_1_6b();
+        assert_eq!(layer_grad_bytes(&m, 1), m.params_per_layer() * 2);
+    }
+}

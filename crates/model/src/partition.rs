@@ -1,0 +1,136 @@
+//! Layer → stage partitioning (paper §7.1).
+//!
+//! Even partitioning is what Chimera, Hanayo, Megatron-LM and BPipe all
+//! adopt; the paper argues uneven ("ramped") partitions can balance memory
+//! only at the cost of compute imbalance. Both are provided: `even` for the
+//! main experiments and `ramp(k)` for the §7.1 ablation ("varying k layers
+//! uniformly across stages", k ∈ {-2,-1,0,+1,+2}).
+
+use serde::{Deserialize, Serialize};
+
+/// How many transformer layers each stage holds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagePartition {
+    layers: Vec<u32>,
+}
+
+impl StagePartition {
+    /// Even split: `layers / stages` each, remainder given to the earliest
+    /// stages.
+    ///
+    /// # Panics
+    /// If `stages == 0` or `layers < stages`.
+    pub fn even(layers: u32, stages: u32) -> Self {
+        assert!(stages > 0, "need at least one stage");
+        assert!(
+            layers >= stages,
+            "cannot split {layers} layers over {stages} stages"
+        );
+        let base = layers / stages;
+        let rem = layers % stages;
+        Self {
+            layers: (0..stages)
+                .map(|s| base + u32::from(s < rem))
+                .collect(),
+        }
+    }
+
+    /// Ramped split: stage workloads vary linearly so the first and last
+    /// stages differ from the mean by `∓k` (k > 0 gives *ascending*
+    /// workloads, which balances activation memory; k < 0 descending).
+    /// The total layer count is preserved exactly.
+    pub fn ramp(layers: u32, stages: u32, k: i32) -> Self {
+        let mut p = Self::even(layers, stages);
+        if stages < 2 || k == 0 {
+            return p;
+        }
+        let s = stages as f64;
+        for (i, l) in p.layers.iter_mut().enumerate() {
+            let frac = 2.0 * i as f64 / (s - 1.0) - 1.0; // -1 .. +1
+            let delta = (k as f64 * frac).round() as i64;
+            let v = *l as i64 + delta;
+            assert!(v >= 1, "ramp k={k} empties stage {i}");
+            *l = v as u32;
+        }
+        // Fix rounding drift while keeping the ramp shape.
+        let want: i64 = layers as i64;
+        let mut have: i64 = p.layers.iter().map(|&l| l as i64).sum();
+        let mut i = (stages / 2) as usize;
+        while have != want {
+            if have < want {
+                p.layers[i] += 1;
+                have += 1;
+            } else if p.layers[i] > 1 {
+                p.layers[i] -= 1;
+                have -= 1;
+            }
+            i = (i + 1) % stages as usize;
+        }
+        p
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> u32 {
+        self.layers.len() as u32
+    }
+
+    /// Layers in stage `s`.
+    pub fn layers_of(&self, s: u32) -> u32 {
+        self.layers[s as usize]
+    }
+
+    /// All per-stage layer counts.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.layers
+    }
+
+    /// Total layers.
+    pub fn total(&self) -> u32 {
+        self.layers.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_spreads_remainder_to_front() {
+        let p = StagePartition::even(10, 4);
+        assert_eq!(p.as_slice(), &[3, 3, 2, 2]);
+        assert_eq!(p.total(), 10);
+    }
+
+    #[test]
+    fn even_split_exact() {
+        let p = StagePartition::even(128, 32);
+        assert!(p.as_slice().iter().all(|&l| l == 4));
+    }
+
+    #[test]
+    fn ramp_preserves_total_and_shape() {
+        for k in [-2i32, -1, 1, 2] {
+            let p = StagePartition::ramp(128, 8, k);
+            assert_eq!(p.total(), 128, "k={k}");
+            let first = p.layers_of(0) as i64;
+            let last = p.layers_of(7) as i64;
+            if k > 0 {
+                assert!(last > first, "k={k}: {:?}", p.as_slice());
+            } else {
+                assert!(last < first, "k={k}: {:?}", p.as_slice());
+            }
+            assert_eq!((last - first).unsigned_abs(), 2 * k.unsigned_abs() as u64);
+        }
+    }
+
+    #[test]
+    fn ramp_zero_is_even() {
+        assert_eq!(StagePartition::ramp(128, 8, 0), StagePartition::even(128, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn rejects_more_stages_than_layers() {
+        let _ = StagePartition::even(4, 8);
+    }
+}

@@ -1,0 +1,283 @@
+//! Lightweight profiling (paper §5.2): run a handful of training
+//! iterations, measure per-block latencies and memory, and fit
+//! `y = a·n + b` estimators where `n` is the number of transformer blocks
+//! and the bias `b` captures framework overhead.
+//!
+//! With no physical GPUs, the "hardware" being profiled is the analytic
+//! cost model perturbed by multiplicative jitter — the same ground truth
+//! the cluster emulator executes — so the fitted estimators carry realistic
+//! regression error and the simulator-accuracy experiment (Fig. 10)
+//! measures a genuine modeling gap.
+
+use crate::cost::{AnalyticCost, TrainSetup};
+use crate::estimator::LinearEstimator;
+use crate::flops;
+use crate::memory;
+use mario_ir::Nanos;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Profiling knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProfilerConfig {
+    /// Training iterations sampled per block count (the paper uses 10).
+    pub iterations: u32,
+    /// Relative standard deviation of kernel-time jitter.
+    pub jitter: f64,
+    /// RNG seed (profiling is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 10,
+            jitter: 0.03,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Fitted estimators plus bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Forward time (ns) vs transformer blocks.
+    pub fwd: LinearEstimator,
+    /// Backward time (ns) vs transformer blocks.
+    pub bwd: LinearEstimator,
+    /// Dynamic activation bytes per micro-batch vs blocks.
+    pub act: LinearEstimator,
+    /// Static bytes vs blocks (bias ≈ framework memory).
+    pub static_mem: LinearEstimator,
+    /// p2p time (ns) vs number of micro-batches.
+    pub p2p: LinearEstimator,
+    /// Measured LM-head forward extra (ns), averaged.
+    pub embed_fwd_ns: Nanos,
+    /// Number of raw samples taken.
+    pub samples: usize,
+    /// Simulated wall-clock cost of the profiling itself (ns) — the paper
+    /// reports 142 s for LLaMA2-13B.
+    pub profiling_cost_ns: Nanos,
+}
+
+fn jittered(rng: &mut StdRng, value: f64, jitter: f64) -> f64 {
+    // Uniform multiplicative noise in [1-2j, 1+2j]; cheap and bounded.
+    let f = 1.0 + rng.gen_range(-2.0 * jitter..=2.0 * jitter);
+    value * f
+}
+
+/// Profiles `setup`, fitting the paper's linear estimators.
+pub fn profile(setup: &TrainSetup, cfg: ProfilerConfig) -> ProfileReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = &setup.model;
+    let g = &setup.gpu;
+
+    // Ground-truth per-block quantities (what the hardware "really" does).
+    let fwd_block =
+        g.flops_time_at(flops::layer_forward_flops(m, setup.mbs, setup.tp), setup.mbs, m.hidden)
+            as f64;
+    let bwd_block = fwd_block * g.bwd_fwd_ratio;
+    let ko = g.kernel_overhead_ns() as f64;
+    let act_block = memory::layer_activation_bytes(m, setup.mbs, setup.tp) as f64;
+    let static_block =
+        memory::layer_static_bytes(m, g.static_bytes_per_param, setup.tp) as f64;
+    let framework = g.framework_bytes as f64;
+    let embed_fwd =
+        g.flops_time_at(flops::embedding_forward_flops(m, setup.mbs, setup.tp), setup.mbs, m.hidden)
+            as f64;
+    let p2p_one = g.p2p_time(memory::boundary_bytes(m, setup.mbs, setup.tp)) as f64;
+
+    // The paper profiles the (D-1)-th device, which holds several blocks;
+    // we sweep a few block counts as a profiled device would expose.
+    let block_counts = [1u32, 2, 3, 4, 6, 8];
+    let mut fwd_s = Vec::new();
+    let mut bwd_s = Vec::new();
+    let mut act_s = Vec::new();
+    let mut stat_s = Vec::new();
+    let mut p2p_s = Vec::new();
+    let mut embed_acc = 0.0;
+    let mut profiling_cost = 0u64;
+    for &n in &block_counts {
+        for _ in 0..cfg.iterations {
+            let f = jittered(&mut rng, n as f64 * fwd_block + ko, cfg.jitter);
+            let b = jittered(&mut rng, n as f64 * bwd_block + ko, cfg.jitter);
+            fwd_s.push((n as f64, f));
+            bwd_s.push((n as f64, b));
+            // Memory counters have no kernel jitter but allocator slack.
+            act_s.push((
+                n as f64,
+                jittered(&mut rng, n as f64 * act_block, cfg.jitter / 3.0),
+            ));
+            stat_s.push((
+                n as f64,
+                jittered(&mut rng, n as f64 * static_block + framework, cfg.jitter / 3.0),
+            ));
+            embed_acc += jittered(&mut rng, embed_fwd, cfg.jitter);
+            profiling_cost += (f + b) as u64;
+        }
+    }
+    // p2p time vs number of micro-batches (paper: "use n to denote the
+    // number of micro-batches and apply linear regression").
+    for n in [1u32, 2, 4, 8, 16] {
+        for _ in 0..cfg.iterations {
+            let y = jittered(
+                &mut rng,
+                n as f64 * p2p_one + g.p2p_launch_ns() as f64,
+                cfg.jitter,
+            );
+            p2p_s.push((n as f64, y));
+            profiling_cost += y as u64;
+        }
+    }
+
+    let samples = fwd_s.len() + bwd_s.len() + act_s.len() + stat_s.len() + p2p_s.len();
+    ProfileReport {
+        fwd: LinearEstimator::fit(&fwd_s),
+        bwd: LinearEstimator::fit(&bwd_s),
+        act: LinearEstimator::fit(&act_s),
+        static_mem: LinearEstimator::fit(&stat_s),
+        p2p: LinearEstimator::fit(&p2p_s),
+        embed_fwd_ns: (embed_acc / (block_counts.len() as f64 * cfg.iterations as f64)) as Nanos,
+        samples,
+        profiling_cost_ns: profiling_cost,
+    }
+}
+
+/// Builds a cost model whose compute/memory tables come from the fitted
+/// estimators instead of the analytic formulas — this is what the paper's
+/// simulator consumes.
+pub fn profiled_cost(setup: &TrainSetup, report: &ProfileReport) -> AnalyticCost {
+    let mut cost = AnalyticCost::new(setup);
+    let stages = setup.topo.num_stages();
+    let mut fwd = Vec::with_capacity(stages as usize);
+    let mut bwd = Vec::with_capacity(stages as usize);
+    let mut act = Vec::with_capacity(stages as usize);
+    let mut stat = Vec::with_capacity(stages as usize);
+    let framework = report.static_mem.b.max(0.0) as u64;
+    for s in 0..stages {
+        let n = setup.partition.layers_of(s) as f64;
+        let head_extra = if s + 1 == stages { report.embed_fwd_ns } else { 0 };
+        let head_extra_bwd = (head_extra as f64 * setup.gpu.bwd_fwd_ratio) as Nanos;
+        fwd.push(report.fwd.predict(n) as Nanos + head_extra);
+        bwd.push(report.bwd.predict(n) as Nanos + head_extra_bwd);
+        act.push(report.act.predict(n) as u64);
+        // The regression bias is the framework share; keep per-stage model
+        // state only (framework is added once per device by the model).
+        let embed_static = if s == 0 || s + 1 == stages {
+            memory::embedding_static_bytes(
+                &setup.model,
+                setup.gpu.static_bytes_per_param,
+                setup.tp,
+            )
+        } else {
+            0
+        };
+        stat.push(
+            (report.static_mem.predict(n) as u64).saturating_sub(framework) + embed_static,
+        );
+    }
+    cost.override_compute(fwd, bwd);
+    cost.override_memory(act, stat);
+    cost
+}
+
+/// Convenience: profile and build the simulator-facing cost model.
+pub fn profile_and_build(setup: &TrainSetup, cfg: ProfilerConfig) -> (AnalyticCost, ProfileReport) {
+    let report = profile(setup, cfg);
+    let cost = profiled_cost(setup, &report);
+    (cost, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::hardware::GpuSpec;
+    use mario_ir::{ComputeKind, CostModel, DeviceId, PartId, SchemeKind, Topology};
+
+    fn setup() -> TrainSetup {
+        TrainSetup::pipeline(
+            ModelConfig::gpt3_1_6b(),
+            GpuSpec::a100_40g(),
+            Topology::new(SchemeKind::OneFOneB, 8),
+            2,
+        )
+    }
+
+    #[test]
+    fn profiling_is_deterministic_given_seed() {
+        let s = setup();
+        let a = profile(&s, ProfilerConfig::default());
+        let b = profile(&s, ProfilerConfig::default());
+        assert_eq!(a.fwd, b.fwd);
+        assert_eq!(a.static_mem, b.static_mem);
+    }
+
+    #[test]
+    fn fitted_slopes_match_ground_truth_within_jitter() {
+        let s = setup();
+        let r = profile(&s, ProfilerConfig::default());
+        let truth = s
+            .gpu
+            .flops_time_at(
+                flops::layer_forward_flops(&s.model, s.mbs, s.tp),
+                s.mbs,
+                s.model.hidden,
+            ) as f64;
+        assert!(
+            (r.fwd.a - truth).abs() / truth < 0.05,
+            "slope {} vs truth {truth}",
+            r.fwd.a
+        );
+        // Backward slope ~2x forward slope.
+        assert!((r.bwd.a / r.fwd.a - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bias_recovers_framework_memory() {
+        // Fig. 10 discussion: the simulator "reveals that the framework
+        // consumes about 2 GB GPU memory" — that is the regression bias.
+        let s = setup();
+        let r = profile(&s, ProfilerConfig::default());
+        let two_gb = 2.0 * (1u64 << 30) as f64;
+        assert!(
+            (r.static_mem.b - two_gb).abs() / two_gb < 0.25,
+            "bias {:.3e}",
+            r.static_mem.b
+        );
+    }
+
+    #[test]
+    fn profiled_cost_tracks_analytic_cost() {
+        let s = setup();
+        let analytic = AnalyticCost::new(&s);
+        let (prof, _) = profile_and_build(&s, ProfilerConfig::default());
+        for d in [0u32, 3, 7] {
+            let dev = DeviceId(d);
+            let p = PartId(0);
+            let a = analytic.compute_time(dev, p, ComputeKind::Forward) as f64;
+            let q = prof.compute_time(dev, p, ComputeKind::Forward) as f64;
+            assert!((a - q).abs() / a < 0.15, "d{d}: {a} vs {q}");
+            let am = analytic.static_mem(dev) as f64;
+            let qm = prof.static_mem(dev) as f64;
+            assert!((am - qm).abs() / am < 0.25, "d{d}: {am} vs {qm}");
+        }
+    }
+
+    #[test]
+    fn profiling_cost_is_lightweight() {
+        // The paper: profiling LLaMA2-13B takes 142 s. Our simulated
+        // profiling cost should be seconds-to-minutes of virtual time,
+        // not hours.
+        let s = TrainSetup::pipeline(
+            ModelConfig::llama2_13b(),
+            GpuSpec::a100_40g(),
+            Topology::new(SchemeKind::OneFOneB, 8),
+            2,
+        );
+        let r = profile(&s, ProfilerConfig::default());
+        let secs = r.profiling_cost_ns as f64 / 1e9;
+        assert!(secs > 0.1 && secs < 1000.0, "{secs} s");
+    }
+}

@@ -1,0 +1,99 @@
+//! Monotonicity and consistency properties of the analytic cost model —
+//! the invariants the tuner's grid search implicitly relies on.
+
+use mario_ir::{ComputeKind, CostModel, DeviceId, PartId, SchemeKind, Topology};
+use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
+use proptest::prelude::*;
+
+fn cost_for(hidden: u32, seqlen: u32, mbs: u32, tp: u32) -> AnalyticCost {
+    let model = ModelConfig::gpt3_scaling(hidden).with_seqlen(seqlen);
+    let topo = Topology::new(SchemeKind::OneFOneB, 8);
+    AnalyticCost::new(
+        &TrainSetup::pipeline(model, GpuSpec::a100_40g(), topo, mbs).with_tp(tp),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compute time and activation memory grow with hidden size.
+    #[test]
+    fn monotone_in_hidden(h in 1u32..20, s in 1u32..8) {
+        let h1 = 512 * h;
+        let h2 = h1 + 512;
+        let seq = 512 * s;
+        let a = cost_for(h1, seq, 2, 1);
+        let b = cost_for(h2, seq, 2, 1);
+        let d = DeviceId(3);
+        let p = PartId(0);
+        prop_assert!(
+            b.compute_time(d, p, ComputeKind::Forward)
+                >= a.compute_time(d, p, ComputeKind::Forward)
+        );
+        prop_assert!(b.act_full(d, p) >= a.act_full(d, p));
+        prop_assert!(b.static_mem(d) >= a.static_mem(d));
+    }
+
+    /// Activation memory grows super-linearly with sequence length (the
+    /// quadratic attention term).
+    #[test]
+    fn superlinear_in_seqlen(k in 1u32..8) {
+        let s1 = 1024 * k;
+        let s2 = 2 * s1;
+        let a = cost_for(2048, s1, 1, 1);
+        let b = cost_for(2048, s2, 1, 1);
+        let d = DeviceId(3);
+        let p = PartId(0);
+        let ratio = b.act_full(d, p) as f64 / a.act_full(d, p) as f64;
+        prop_assert!(ratio > 2.0, "ratio {ratio}");
+        // But the checkpoint (boundary) is exactly linear.
+        let cr = b.act_ckpt(d, p) as f64 / a.act_ckpt(d, p) as f64;
+        prop_assert!((cr - 2.0).abs() < 0.01, "ckpt ratio {cr}");
+    }
+
+    /// Doubling the micro-batch less than doubles per-sample time (the
+    /// efficiency-knee mechanism behind the paper's lmbs gains).
+    #[test]
+    fn larger_micro_batches_are_more_efficient(mbs in 1u32..8, h in 2u32..10) {
+        let hidden = 512 * h;
+        let a = cost_for(hidden, 1024, mbs, 1);
+        let b = cost_for(hidden, 1024, 2 * mbs, 1);
+        let d = DeviceId(3);
+        let p = PartId(0);
+        let ta = a.compute_time(d, p, ComputeKind::Forward) as f64;
+        let tb = b.compute_time(d, p, ComputeKind::Forward) as f64;
+        prop_assert!(tb > ta, "more work takes longer");
+        prop_assert!(
+            tb < 2.0 * ta,
+            "per-sample time must shrink: {tb} vs 2x{ta}"
+        );
+    }
+
+    /// TP divides memory; split-backward halves sum to the full backward
+    /// within rounding.
+    #[test]
+    fn tp_and_split_consistency(h in 2u32..8) {
+        let hidden = 512 * h;
+        let c1 = cost_for(hidden, 1024, 2, 1);
+        let c2 = cost_for(hidden, 1024, 2, 2);
+        let d = DeviceId(3);
+        let p = PartId(0);
+        prop_assert!(c2.act_full(d, p) <= c1.act_full(d, p) / 2 + 1);
+
+        let full = c1.compute_time(d, p, ComputeKind::Backward);
+        let bi = c1.compute_time(d, p, ComputeKind::BackwardInput);
+        let bw = c1.compute_time(d, p, ComputeKind::BackwardWeight);
+        prop_assert!(bi + bw <= full + 2);
+        prop_assert!(bi + bw + 2 >= full);
+    }
+
+    /// Same-node hops are never slower than cross-node hops.
+    #[test]
+    fn nvlink_hops_beat_ib_hops(bytes in 1u64..100_000_000) {
+        let c = cost_for(2048, 1024, 2, 1);
+        // Devices 0 and 1 share a 4-GPU node; 3 and 4 do not.
+        let intra = c.p2p_time_between(DeviceId(0), DeviceId(1), bytes);
+        let inter = c.p2p_time_between(DeviceId(3), DeviceId(4), bytes);
+        prop_assert!(intra < inter, "intra {intra} vs inter {inter}");
+    }
+}

@@ -1,0 +1,46 @@
+//! GPipe schedule (Huang et al., NeurIPS'19): all forwards, then all
+//! backwards. Maximally simple, maximally memory-hungry: device 0 holds all
+//! `N` micro-batches' activations at once (Table 1: `N × M_θ`).
+
+use mario_ir::{DeviceId, Instr, Schedule, SchemeKind, Topology};
+
+/// Generates the compute-only GPipe schedule for `devices` devices and
+/// `micros` micro-batches.
+pub fn generate_compute(devices: u32, micros: u32) -> Schedule {
+    let topo = Topology::new(SchemeKind::GPipe, devices);
+    let mut s = Schedule::empty(topo, micros, vec![0; micros as usize]);
+    for d in 0..devices {
+        let prog = s.program_mut(DeviceId(d));
+        for m in 0..micros {
+            prog.push(Instr::forward(m, 0u32));
+        }
+        for m in 0..micros {
+            prog.push(Instr::backward(m, 0u32));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mario_ir::validate;
+
+    #[test]
+    fn gpipe_is_valid() {
+        let s = generate_compute(4, 8);
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn gpipe_peak_memory_is_n_everywhere() {
+        let s = generate_compute(4, 8);
+        assert_eq!(s.peak_on_the_fly_per_device(true), vec![8; 4]);
+    }
+
+    #[test]
+    fn instruction_counts() {
+        let s = generate_compute(3, 5);
+        assert_eq!(s.total_instrs(), 3 * 5 * 2);
+    }
+}

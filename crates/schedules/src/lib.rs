@@ -1,0 +1,29 @@
+//! # mario-schedules — pipeline schedule generators
+//!
+//! From-scratch generators for the pipeline-parallel schemes the Mario
+//! paper evaluates (§2.1 / §6): GPipe, 1F1B ("V"), Chimera ("X"),
+//! Megatron-style Interleave ("W"), and a Hanayo-style wave pipeline. Each
+//! generator emits per-device instruction lists in the [`mario_ir`] IR; the
+//! [`builder`] then inserts point-to-point communication so the lists are
+//! executable under blocking p2p semantics.
+//!
+//! The paper transcribes third-party schedules (Chimera's rank script,
+//! Megatron's `schedules.py`) into its own instruction lists; here the "V"
+//! and "W" orders follow the published closed forms, while "X" and the wave
+//! scheme are derived with a dependency-driven list scheduler
+//! ([`engine`]) under the scheme's injection policy.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod chimera;
+pub mod engine;
+pub mod gpipe;
+pub mod interleave;
+pub mod one_f_one_b;
+pub mod scheme;
+pub mod wave;
+
+pub use builder::{insert_comm, CommOptions};
+pub use engine::{derive_schedule, unit_makespan, EnginePolicy};
+pub use scheme::{generate, generate_compute, ScheduleConfig};

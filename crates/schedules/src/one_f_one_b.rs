@@ -1,0 +1,109 @@
+//! The 1F1B schedule ("V" shape; DAPPLE / PipeDream-flush): after a warmup
+//! of `D-1-d` forwards, every device strictly alternates one forward with
+//! one backward, bounding the on-the-fly micro-batches at device `d` to
+//! `D-d` (Table 1: activation memory in `[M_θ, D × M_θ]`).
+
+use mario_ir::{DeviceId, Instr, Schedule, SchemeKind, Topology};
+
+/// Generates the compute-only 1F1B schedule for `devices` devices and
+/// `micros` micro-batches.
+pub fn generate_compute(devices: u32, micros: u32) -> Schedule {
+    let topo = Topology::new(SchemeKind::OneFOneB, devices);
+    let mut s = Schedule::empty(topo, micros, vec![0; micros as usize]);
+    for d in 0..devices {
+        let prog = s.program_mut(DeviceId(d));
+        let warmup = (devices - 1 - d).min(micros);
+        for m in 0..warmup {
+            prog.push(Instr::forward(m, 0u32));
+        }
+        for j in 0..(micros - warmup) {
+            prog.push(Instr::forward(warmup + j, 0u32));
+            prog.push(Instr::backward(j, 0u32));
+        }
+        for k in (micros - warmup)..micros {
+            prog.push(Instr::backward(k, 0u32));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{derive_schedule, unit_makespan, EnginePolicy};
+    use mario_ir::validate;
+
+    #[test]
+    fn one_f_one_b_is_valid() {
+        for d in 1..=6u32 {
+            for n in 1..=8u32 {
+                let s = generate_compute(d, n);
+                validate(&s).unwrap_or_else(|e| panic!("D={d} N={n}: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn peak_memory_declines_with_device_index() {
+        let s = generate_compute(4, 8);
+        assert_eq!(s.peak_on_the_fly_per_device(true), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn last_device_strictly_alternates() {
+        let s = generate_compute(4, 4);
+        let last: Vec<String> = s
+            .program(DeviceId(3))
+            .instrs()
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        assert_eq!(
+            last,
+            vec!["F0^0", "B0^0", "F1^0", "B1^0", "F2^0", "B2^0", "F3^0", "B3^0"]
+        );
+    }
+
+    #[test]
+    fn matches_engine_derivation_in_makespan() {
+        for d in 2..=5u32 {
+            let n = 2 * d;
+            let formula = generate_compute(d, n);
+            let topo = Topology::new(SchemeKind::OneFOneB, d);
+            let derived = derive_schedule(
+                topo,
+                n,
+                vec![0; n as usize],
+                &EnginePolicy::one_f_one_b(d),
+            );
+            assert_eq!(
+                unit_makespan(&formula),
+                unit_makespan(&derived),
+                "formula and engine disagree for D={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn classic_makespan_formula_holds() {
+        // Ideal 1F1B: makespan = (D-1)(t_f + t_b) + N(t_f + t_b)
+        // with t_f = 1, t_b = 2.
+        for d in 1..=6u64 {
+            for n in d..(3 * d) {
+                let s = generate_compute(d as u32, n as u32);
+                assert_eq!(
+                    unit_makespan(&s),
+                    (d - 1) * 3 + n * 3,
+                    "D={d} N={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_micros_than_devices_still_valid() {
+        let s = generate_compute(6, 2);
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+        assert_eq!(s.peak_on_the_fly_per_device(true), vec![2, 2, 2, 2, 2, 1]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Unified entry point: pick a scheme, get a complete schedule.
+
+use crate::builder::{insert_comm, CommOptions};
+use mario_ir::{Schedule, SchemeKind};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to materialize one scheme's schedule.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScheduleConfig {
+    /// Which scheme to generate.
+    pub scheme: SchemeKind,
+    /// Pipeline device count `D`.
+    pub devices: u32,
+    /// Micro-batches per iteration `N`.
+    pub micros: u32,
+    /// Emit p2p communication instructions.
+    pub with_comm: bool,
+    /// Emit a trailing data-parallel all-reduce.
+    pub with_allreduce: bool,
+}
+
+impl ScheduleConfig {
+    /// A complete schedule (comm + optimizer step) for `scheme`.
+    pub fn new(scheme: SchemeKind, devices: u32, micros: u32) -> Self {
+        Self {
+            scheme,
+            devices,
+            micros,
+            with_comm: true,
+            with_allreduce: false,
+        }
+    }
+
+    /// Builder: toggle communication emission.
+    pub fn comm(mut self, on: bool) -> Self {
+        self.with_comm = on;
+        self
+    }
+
+    /// Builder: toggle the all-reduce.
+    pub fn allreduce(mut self, on: bool) -> Self {
+        self.with_allreduce = on;
+        self
+    }
+}
+
+/// Generates the compute-only schedule for a scheme.
+pub fn generate_compute(scheme: SchemeKind, devices: u32, micros: u32) -> Schedule {
+    match scheme {
+        SchemeKind::GPipe => crate::gpipe::generate_compute(devices, micros),
+        SchemeKind::OneFOneB => crate::one_f_one_b::generate_compute(devices, micros),
+        SchemeKind::Chimera => crate::chimera::generate_compute(devices, micros),
+        SchemeKind::Interleave { chunks } => {
+            crate::interleave::generate_compute(devices, micros, chunks)
+        }
+        SchemeKind::Wave { chunks } => crate::wave::generate_compute(devices, micros, chunks),
+    }
+}
+
+/// Generates a schedule according to `cfg`.
+pub fn generate(cfg: ScheduleConfig) -> Schedule {
+    let compute = generate_compute(cfg.scheme, cfg.devices, cfg.micros);
+    if cfg.with_comm {
+        insert_comm(
+            &compute,
+            CommOptions {
+                allreduce: cfg.with_allreduce,
+                optimizer_step: true,
+            },
+        )
+    } else {
+        compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mario_ir::{validate, validate_with, ValidateOptions};
+
+    fn all_schemes(devices: u32) -> Vec<SchemeKind> {
+        vec![
+            SchemeKind::GPipe,
+            SchemeKind::OneFOneB,
+            SchemeKind::Chimera,
+            SchemeKind::Interleave { chunks: 2 },
+            SchemeKind::Wave { chunks: 2 },
+        ]
+        .into_iter()
+        .filter(|s| !matches!(s, SchemeKind::Chimera) || devices % 2 == 0)
+        .collect()
+    }
+
+    #[test]
+    fn every_scheme_generates_valid_full_schedules() {
+        for d in [2u32, 4, 8] {
+            for s in all_schemes(d) {
+                let n = 2 * d;
+                let sched = generate(ScheduleConfig::new(s, d, n));
+                let opts = ValidateOptions {
+                    channel_capacity: 2,
+                    ..Default::default()
+                };
+                validate_with(&sched, opts).unwrap_or_else(|e| {
+                    panic!("{s:?} D={d} N={n}: {}", e[0])
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn compute_only_generation_skips_comm() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8).comm(false));
+        assert_eq!(s.count_tag(mario_ir::InstrTag::SendAct), 0);
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn allreduce_flag_adds_one_per_device() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8).allreduce(true));
+        assert_eq!(s.count_tag(mario_ir::InstrTag::AllReduce), 4);
+    }
+}

@@ -1,0 +1,67 @@
+//! Autotune a 16-GPU cluster (paper §5.3/§6.7 in miniature): grid-search
+//! scheme × pipeline depth × data parallelism × micro-batch size ×
+//! checkpointing with the lightweight simulator, then validate the winner
+//! on the cluster emulator.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use mario::prelude::*;
+
+fn main() {
+    let model = ModelConfig::llama2_3b();
+    let gpu = GpuSpec::a100_40g();
+    let cfg = TunerConfig {
+        mbs_options: vec![1, 2, 4, 8],
+        ..TunerConfig::new(16, 128, gpu.mem_bytes)
+    };
+
+    println!("tuning {} on 16 emulated A100s, gbs 128 ...", model.name);
+    let result = mario::core::tune(&model, &gpu, &cfg).expect("feasible config exists");
+    println!(
+        "{} configurations evaluated in {:.1} s\n",
+        result.curve.len(),
+        result.tuning_time.as_secs_f64()
+    );
+
+    // The Fig. 11-style curve: throughput along tuning iterations.
+    println!("{:<16} {:>12} {:>6}", "config", "samples/s", "OOM");
+    for e in &result.curve {
+        println!(
+            "{:<16} {:>12.2} {:>6}",
+            e.candidate.to_string(),
+            e.throughput,
+            if e.oom { "yes" } else { "" }
+        );
+    }
+
+    let best = &result.best;
+    println!(
+        "\nbest: {}  ({:.2} samples/s simulated)",
+        best.candidate, best.throughput
+    );
+
+    // Cross-check the winner on the emulator.
+    let mario_conf = MarioConfig {
+        pipeline_scheme: SchemeChoice::Fixed(vec![best.candidate.scheme]),
+        global_batch_size: 128,
+        num_devices: 16,
+        memory_per_device: gpu.mem_bytes,
+    };
+    let optimized = mario::core::optimize(&mario_conf, &model, &gpu).unwrap();
+    let report = mario::core::run(
+        &optimized,
+        EmulatorConfig {
+            jitter: 0.02,
+            mem_capacity: Some(gpu.mem_bytes),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    println!(
+        "emulator confirms: {:.2} samples/s per pipeline (iteration {:.1} ms)",
+        report.throughput((128 / optimized.evaluation.candidate.dp) as u64),
+        report.iter_ns as f64 / 1e6
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: the paper's Listing 1 — configure Mario, let it search for
+//! the best pipeline + checkpointing configuration, then execute the tuned
+//! schedule on the emulated cluster.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mario::prelude::*;
+
+fn main() {
+    // mario_conf = { 'pipeline_scheme': 'Auto', 'global_batch_size': 128,
+    //                'num_device': 8, 'memory_per_device': '40G' }
+    let mario_conf = MarioConfig::auto(8, 128, 40 * (1 << 30));
+    // model_conf = { 'type': 'GPT3', 'hidden_size': 1024, ... }
+    let model_conf = ModelConfig::gpt3_1_6b();
+    let gpu = GpuSpec::a100_40g();
+
+    // schedule = mario.optimize(mario_conf, model_conf)
+    let optimized = mario::core::optimize(&mario_conf, &model_conf, &gpu)
+        .expect("a feasible configuration exists");
+
+    println!("model: {}", model_conf.name);
+    println!(
+        "best configuration: {}  (searched in {:.0} ms)",
+        optimized.evaluation.candidate,
+        optimized.tuning_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "simulated throughput: {:.2} samples/s, peak memory [{:.2}, {:.2}] GB",
+        optimized.evaluation.throughput,
+        optimized.evaluation.peak_mem.0 as f64 / (1u64 << 30) as f64,
+        optimized.evaluation.peak_mem.1 as f64 / (1u64 << 30) as f64,
+    );
+    println!(
+        "graph tuner: {} forwards checkpointed, {} recomputes overlapped, {} reverted, {} preposed",
+        optimized.stats.checkpointed,
+        optimized.stats.overlapped,
+        optimized.stats.reverted,
+        optimized.stats.preposed,
+    );
+
+    // mario.run(schedule) — on the emulated cluster.
+    let report = mario::core::run(
+        &optimized,
+        EmulatorConfig {
+            jitter: 0.02,
+            mem_capacity: Some(mario_conf.memory_per_device),
+            ..Default::default()
+        },
+    )
+    .expect("tuned schedule executes");
+    println!(
+        "emulated run: {:.2} samples/s over {} devices",
+        report.throughput(mario_conf.global_batch_size as u64),
+        report.device_clocks.len(),
+    );
+}

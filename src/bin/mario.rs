@@ -1,0 +1,293 @@
+//! `mario` — command-line front end for the pipeline optimizer.
+//!
+//! ```text
+//! mario generate --scheme V --devices 4 --micros 8 [--mario] [--out s.txt]
+//! mario optimize --model gpt3-1.6b --devices 8 --gbs 128 [--mem-gb 40] [--out s.txt]
+//! mario simulate --schedule s.txt --model gpt3-1.6b --mbs 2 [--viz] [--trace t.json]
+//! mario emulate  --schedule s.txt --model gpt3-1.6b --mbs 2 [--jitter 0.02]
+//! ```
+//!
+//! Schedules travel in the `mario-schedule v1` text format
+//! (`mario_ir::text`), so the output of `generate`/`optimize` feeds
+//! straight into `simulate`/`emulate` — the AOT workflow of the paper's
+//! Listing 1.
+
+use mario::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mario — near zero-cost activation checkpointing in pipeline parallelism
+
+USAGE:
+  mario generate --scheme <G|V|X|W:k|H:k> --devices <D> --micros <N>
+                 [--mario] [--out <file>]
+  mario optimize --model <name> --devices <D> --gbs <B>
+                 [--mem-gb <G>] [--scheme <V|X|W:2>] [--out <file>]
+  mario simulate --schedule <file> --model <name> --mbs <M>
+                 [--tp <T>] [--viz] [--trace <file>]
+  mario emulate  --schedule <file> --model <name> --mbs <M>
+                 [--tp <T>] [--jitter <f>] [--iterations <k>]
+
+MODELS: gpt3-1.6b | gpt3-13b | llama2-3b | llama2-13b | gpt3-h<hidden>
+";
+
+fn parse_model(name: &str) -> Option<ModelConfig> {
+    match name {
+        "gpt3-1.6b" => Some(ModelConfig::gpt3_1_6b()),
+        "gpt3-13b" => Some(ModelConfig::gpt3_13b()),
+        "llama2-3b" => Some(ModelConfig::llama2_3b()),
+        "llama2-13b" => Some(ModelConfig::llama2_13b()),
+        _ => name
+            .strip_prefix("gpt3-h")
+            .and_then(|h| h.parse().ok())
+            .map(ModelConfig::gpt3_scaling),
+    }
+}
+
+fn parse_scheme(tok: &str) -> Option<SchemeKind> {
+    match tok {
+        "G" => Some(SchemeKind::GPipe),
+        "V" => Some(SchemeKind::OneFOneB),
+        "X" => Some(SchemeKind::Chimera),
+        _ => {
+            let (l, c) = tok.split_once(':')?;
+            let chunks = c.parse().ok()?;
+            match l {
+                "W" => Some(SchemeKind::Interleave { chunks }),
+                "H" => Some(SchemeKind::Wave { chunks }),
+                _ => None,
+            }
+        }
+    }
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => switches.push(name.to_string()),
+            }
+        }
+        Ok(Self { flags, switches })
+    }
+
+    fn req(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.req(name)?
+            .parse()
+            .map_err(|_| format!("bad value for --{name}"))
+    }
+
+    fn opt_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn emit(schedule: &Schedule, out: Option<&String>) -> Result<(), String> {
+    let text = mario::ir::to_text(schedule);
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn load_schedule(args: &Args) -> Result<Schedule, String> {
+    let path = args.req("schedule")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let schedule = mario::ir::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    validate(&schedule)
+        .map_err(|e| format!("{path}: schedule is not well-formed: {}", e[0]))?;
+    Ok(schedule)
+}
+
+fn cost_for(args: &Args, schedule: &Schedule) -> Result<AnalyticCost, String> {
+    let model = parse_model(args.req("model")?).ok_or("unknown model")?;
+    let mbs: u32 = args.num("mbs")?;
+    let tp: u32 = args.opt_num("tp", 1)?;
+    let setup = TrainSetup::pipeline(model, GpuSpec::a100_40g(), schedule.topology, mbs)
+        .with_tp(tp);
+    Ok(AnalyticCost::new(&setup))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let scheme = parse_scheme(args.req("scheme")?).ok_or("unknown scheme")?;
+    let devices: u32 = args.num("devices")?;
+    let micros: u32 = args.num("micros")?;
+    if devices == 0 || micros == 0 {
+        return Err("--devices and --micros must be at least 1".into());
+    }
+    if matches!(scheme, SchemeKind::Chimera) && (devices % 2 != 0 || micros % 2 != 0) {
+        return Err("Chimera (X) needs even --devices and even --micros".into());
+    }
+    if matches!(scheme, SchemeKind::Interleave { .. }) && micros % devices != 0 {
+        return Err("Interleave (W) needs --micros divisible by --devices".into());
+    }
+    let mut s = generate(ScheduleConfig::new(scheme, devices, micros));
+    if args.has("mario") {
+        let cost = UnitCost::paper_grid();
+        run_graph_tuner(&mut s, &cost, GraphTunerOptions::mario());
+    }
+    validate(&s).map_err(|e| format!("generated schedule invalid: {}", e[0]))?;
+    emit(&s, args.flags.get("out"))
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let model = parse_model(args.req("model")?).ok_or("unknown model")?;
+    let devices: u32 = args.num("devices")?;
+    let gbs: u32 = args.num("gbs")?;
+    let mem_gb: u64 = args.opt_num("mem-gb", 40)?;
+    let scheme_choice = match args.flags.get("scheme") {
+        None => SchemeChoice::Auto,
+        Some(t) => SchemeChoice::Fixed(vec![parse_scheme(t).ok_or("unknown scheme")?]),
+    };
+    let conf = MarioConfig {
+        pipeline_scheme: scheme_choice,
+        global_batch_size: gbs,
+        num_devices: devices,
+        memory_per_device: mem_gb << 30,
+    };
+    let opt = optimize(&conf, &model, &GpuSpec::a100_40g()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "best: {}  ({:.2} samples/s simulated, memory [{:.2}, {:.2}] GB, tuned in {:.0} ms)",
+        opt.evaluation.candidate,
+        opt.evaluation.throughput,
+        opt.evaluation.peak_mem.0 as f64 / (1u64 << 30) as f64,
+        opt.evaluation.peak_mem.1 as f64 / (1u64 << 30) as f64,
+        opt.tuning_time.as_secs_f64() * 1e3,
+    );
+    emit(&opt.schedule, args.flags.get("out"))
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let schedule = load_schedule(args)?;
+    let cost = cost_for(args, &schedule)?;
+    let cap = mario::core::tuner::scheme_channel_capacity(schedule.topology.scheme);
+    let report = simulate(
+        &schedule,
+        &cost,
+        SimOptions {
+            channel_capacity: cap,
+            mem_capacity: None,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "iteration: {:.3} ms  ({:.2} iterations/s)",
+        report.timeline.total_ns as f64 / 1e6,
+        1e9 / report.timeline.total_ns as f64
+    );
+    println!(
+        "peak memory: [{:.2}, {:.2}] GB across {} devices",
+        report.memory.min_peak() as f64 / (1u64 << 30) as f64,
+        report.memory.max_peak() as f64 / (1u64 << 30) as f64,
+        schedule.devices()
+    );
+    if args.has("viz") {
+        let opts = mario::core::VizOptions {
+            ns_per_cell: report.timeline.total_ns / 120 + 1,
+            show_micro_ids: false,
+        };
+        println!("{}", mario::core::render_ascii(&report.timeline, opts));
+    }
+    if let Some(path) = args.flags.get("trace") {
+        std::fs::write(path, mario::core::sim_to_chrome_trace(&report.timeline))
+            .map_err(|e| e.to_string())?;
+        eprintln!("chrome trace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_emulate(args: &Args) -> Result<(), String> {
+    let schedule = load_schedule(args)?;
+    let cost = cost_for(args, &schedule)?;
+    let cap = mario::core::tuner::scheme_channel_capacity(schedule.topology.scheme);
+    let jitter: f64 = args.opt_num("jitter", 0.0)?;
+    if !(0.0..=0.25).contains(&jitter) {
+        return Err("--jitter must be in [0, 0.25]".into());
+    }
+    let iterations: u32 = args.opt_num("iterations", 1)?;
+    if iterations == 0 {
+        return Err("--iterations must be at least 1".into());
+    }
+    let report = mario::cluster::run(
+        &schedule,
+        &cost,
+        EmulatorConfig {
+            channel_capacity: cap,
+            jitter,
+            iterations,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "iteration: {:.3} ms over {} emulated devices",
+        report.iter_ns as f64 / 1e6,
+        report.device_clocks.len()
+    );
+    println!(
+        "peak memory: [{:.2}, {:.2}] GB",
+        report.min_peak_mem() as f64 / (1u64 << 30) as f64,
+        report.max_peak_mem() as f64 / (1u64 << 30) as f64
+    );
+    Ok(())
+}
+
+fn run_cli(argv: Vec<String>) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("no command".into());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "optimize" => cmd_optimize(&args),
+        "simulate" => cmd_simulate(&args),
+        "emulate" => cmd_emulate(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

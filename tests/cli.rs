@@ -1,0 +1,163 @@
+//! End-to-end tests of the `mario` CLI: generate → simulate → emulate
+//! through the text format, plus error handling.
+
+use std::process::Command;
+
+fn mario() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mario"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mario-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+#[test]
+fn generate_emits_parseable_schedules() {
+    let out = mario()
+        .args(["generate", "--scheme", "V", "--devices", "4", "--micros", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let s = mario::ir::from_text(&text).unwrap();
+    assert_eq!(s.devices(), 4);
+    assert_eq!(s.micros, 8);
+    mario::ir::validate(&s).unwrap();
+}
+
+#[test]
+fn generate_mario_flag_applies_checkpointing() {
+    let out = mario()
+        .args([
+            "generate", "--scheme", "V", "--devices", "4", "--micros", "8", "--mario",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let s = mario::ir::from_text(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert!(s.has_checkpointing());
+}
+
+#[test]
+fn generate_simulate_emulate_round_trip() {
+    let path = tmp("roundtrip.txt");
+    let out = mario()
+        .args([
+            "generate",
+            "--scheme",
+            "X",
+            "--devices",
+            "4",
+            "--micros",
+            "8",
+            "--mario",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let sim = mario()
+        .args([
+            "simulate",
+            "--schedule",
+            path.to_str().unwrap(),
+            "--model",
+            "gpt3-1.6b",
+            "--mbs",
+            "2",
+            "--viz",
+        ])
+        .output()
+        .unwrap();
+    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    let text = String::from_utf8(sim.stdout).unwrap();
+    assert!(text.contains("iteration:"), "{text}");
+    assert!(text.contains("peak memory:"));
+    assert!(text.contains("d0:"), "viz row missing: {text}");
+
+    let emu = mario()
+        .args([
+            "emulate",
+            "--schedule",
+            path.to_str().unwrap(),
+            "--model",
+            "gpt3-1.6b",
+            "--mbs",
+            "2",
+            "--jitter",
+            "0.02",
+        ])
+        .output()
+        .unwrap();
+    assert!(emu.status.success(), "{}", String::from_utf8_lossy(&emu.stderr));
+    assert!(String::from_utf8_lossy(&emu.stdout).contains("emulated devices"));
+}
+
+#[test]
+fn simulate_writes_chrome_traces() {
+    let sched = tmp("trace-sched.txt");
+    let trace = tmp("trace.json");
+    assert!(mario()
+        .args([
+            "generate", "--scheme", "V", "--devices", "2", "--micros", "4", "--out",
+            sched.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(mario()
+        .args([
+            "simulate",
+            "--schedule",
+            sched.to_str().unwrap(),
+            "--model",
+            "gpt3-1.6b",
+            "--mbs",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"cat\":\"forward\""));
+}
+
+#[test]
+fn optimize_produces_a_runnable_schedule() {
+    let path = tmp("optimized.txt");
+    let out = mario()
+        .args([
+            "optimize", "--model", "gpt3-1.6b", "--devices", "4", "--gbs", "16",
+            "--scheme", "V", "--out", path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("best: V-"), "{stderr}");
+    let s = mario::ir::from_text(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    mario::ir::validate(&s).unwrap();
+}
+
+#[test]
+fn bad_input_fails_with_usage() {
+    let out = mario().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+
+    let out = mario()
+        .args(["generate", "--scheme", "Q", "--devices", "2", "--micros", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scheme"));
+}
