@@ -1,0 +1,10 @@
+//! Chaos sweep: seeded single-fault injection across V/X/W. Exits
+//! non-zero if any scenario violates the terminate-attribute-reproduce
+//! invariant.
+fn main() {
+    let rows = mario_bench::experiments::chaos::run(16);
+    println!("{}", mario_bench::experiments::chaos::render(&rows));
+    if rows.iter().any(|r| !r.ok) {
+        std::process::exit(1);
+    }
+}

@@ -2,6 +2,7 @@
 //! structured rows and `render()` producing the printed artifact.
 
 pub mod ablation;
+pub mod chaos;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -117,7 +117,7 @@ impl ExpConfig {
     pub fn micros(&self) -> u32 {
         let denom = self.dp * self.effective_mbs();
         assert!(
-            self.gbs % denom == 0,
+            self.gbs.is_multiple_of(denom),
             "gbs {} not divisible by dp*mbs = {denom}",
             self.gbs
         );

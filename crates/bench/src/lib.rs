@@ -16,6 +16,7 @@
 //! | `fig10` | Fig. 10 — simulator accuracy (MAPE, partial order) |
 //! | `fig11` | Fig. 11 — 64-GPU tuning curve |
 //! | `ablation` | §7.1 partition ramp + per-pass ablation |
+//! | `chaos` | (robustness, not in paper) seeded single-fault injection sweep |
 
 #![warn(missing_docs)]
 

@@ -1,12 +1,17 @@
 //! Per-device execution: walks one instruction list, advancing a virtual
-//! clock and a memory ledger, communicating through virtual-time links.
+//! clock and a memory ledger, communicating through virtual-time links —
+//! and, when a [`crate::faults::FaultPlan`] is active, enforcing the
+//! injected faults and converting every induced failure into a structured
+//! [`FaultReport`].
 
 use crate::error::EmuError;
+use crate::faults::{DeviceFaults, FaultKind, FaultReport};
 use crate::link::{Header, LinkError, RecvHalf, SendHalf};
 use mario_ir::exec::MsgClass;
 use mario_ir::{
     CostModel, DeviceId, DeviceProgram, Instr, InstrKind, MemLedger, MemoryRules, Nanos,
 };
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -37,6 +42,95 @@ pub struct DeviceReport {
     pub leaked: usize,
     /// Recorded events, if timeline recording was enabled.
     pub timeline: Vec<TimelineEvent>,
+    /// Faults this device absorbed without failing (slowdowns, delays).
+    pub absorbed: Vec<FaultReport>,
+}
+
+/// What a blocked device is waiting on right now.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockedOn {
+    /// The peer whose send/recv must pair for progress.
+    pub peer: DeviceId,
+    /// Instruction index of the blocked operation.
+    pub pc: usize,
+}
+
+/// Shared table of blocked devices: each device registers the peer it is
+/// about to block on and clears the entry once the operation pairs. When
+/// a watchdog fires, the timed-out device snapshots the table and names
+/// the wait chain — turning "2 s elapsed" into "d0 -> d2 -> d1 -> d0".
+#[derive(Debug, Default)]
+pub struct StallTable {
+    slots: Vec<Mutex<Option<BlockedOn>>>,
+}
+
+impl StallTable {
+    /// A table for `devices` devices, all initially unblocked.
+    pub fn new(devices: usize) -> Self {
+        Self {
+            slots: (0..devices).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Marks `device` as about to block on `peer` at `pc`.
+    pub fn enter(&self, device: DeviceId, peer: DeviceId, pc: usize) {
+        if let Some(slot) = self.slots.get(device.index()) {
+            *slot.lock() = Some(BlockedOn { peer, pc });
+        }
+    }
+
+    /// Clears `device`'s blocked mark.
+    pub fn clear(&self, device: DeviceId) {
+        if let Some(slot) = self.slots.get(device.index()) {
+            *slot.lock() = None;
+        }
+    }
+
+    /// The wait chain starting at `device`: follows blocked-on edges until
+    /// an unblocked device or a repeat (a true cycle). The starting device
+    /// is always the first entry.
+    pub fn wait_chain(&self, device: DeviceId) -> Vec<DeviceId> {
+        let mut chain = vec![device];
+        let mut current = device;
+        while let Some(slot) = self.slots.get(current.index()) {
+            let next = match *slot.lock() {
+                Some(b) => b.peer,
+                None => break,
+            };
+            let looped = chain.contains(&next);
+            chain.push(next);
+            if looped {
+                break;
+            }
+            current = next;
+        }
+        chain
+    }
+}
+
+/// Everything a device runtime needs besides its channel ends (grouping
+/// the former 10-argument constructor).
+pub struct DeviceCtx<'a> {
+    /// The device this runtime executes.
+    pub device: DeviceId,
+    /// Per-instruction latencies and sizes.
+    pub cost: &'a dyn CostModel,
+    /// Shared activation-lifecycle rules.
+    pub rules: &'a MemoryRules,
+    /// Device memory capacity (None = unchecked).
+    pub mem_capacity: Option<u64>,
+    /// Relative kernel-time jitter.
+    pub jitter: f64,
+    /// Straggler spread (see [`crate::EmulatorConfig`]).
+    pub straggler_spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record a full per-instruction timeline.
+    pub record_timeline: bool,
+    /// Faults this device must enforce.
+    pub faults: DeviceFaults,
+    /// Shared blocked-device table for wait-chain reporting.
+    pub stalls: &'a StallTable,
 }
 
 /// The per-device runtime state.
@@ -53,43 +147,55 @@ pub struct DeviceRuntime<'a> {
     straggler: f64,
     record: bool,
     timeline: Vec<TimelineEvent>,
+    faults: DeviceFaults,
+    stalls: &'a StallTable,
+    sends_to: HashMap<DeviceId, usize>,
+    absorbed: Vec<FaultReport>,
+    iteration: u32,
 }
 
 impl<'a> DeviceRuntime<'a> {
-    /// Creates a runtime for `device`.
-    #[allow(clippy::too_many_arguments)]
+    /// Creates a runtime for `ctx.device`.
     pub fn new(
-        device: DeviceId,
-        cost: &'a dyn CostModel,
-        rules: &'a MemoryRules,
-        mem_capacity: Option<u64>,
+        ctx: DeviceCtx<'a>,
         out: HashMap<(DeviceId, MsgClass, mario_ir::PartId), SendHalf>,
         inp: HashMap<(DeviceId, MsgClass, mario_ir::PartId), RecvHalf>,
-        jitter: f64,
-        straggler_spread: f64,
-        seed: u64,
-        record: bool,
     ) -> Self {
         // A fixed per-device slowdown in [1, 1+spread], derived from the
         // seed so runs stay deterministic.
-        let mix = seed
+        let device = ctx.device;
+        let mix = ctx
+            .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add((device.0 as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
         let unit = (mix >> 11) as f64 / (1u64 << 53) as f64;
-        let straggler = 1.0 + straggler_spread * unit;
+        let straggler = 1.0 + ctx.straggler_spread * unit;
+        // An injected memory squeeze clamps the capacity for the whole
+        // run (it models lost headroom, not a transient glitch).
+        let capacity = match ctx.faults.squeezed_capacity() {
+            Some(squeezed) => Some(ctx.mem_capacity.unwrap_or(u64::MAX).min(squeezed)),
+            None => ctx.mem_capacity,
+        };
         Self {
             device,
-            cost,
-            rules,
-            ledger: MemLedger::new(cost.static_mem(device), mem_capacity),
+            cost: ctx.cost,
+            rules: ctx.rules,
+            ledger: MemLedger::new(ctx.cost.static_mem(device), capacity),
             clock: 0,
             out,
             inp,
-            rng: StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(device.0 as u64 + 1))),
-            jitter,
+            rng: StdRng::seed_from_u64(
+                ctx.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(device.0 as u64 + 1)),
+            ),
+            jitter: ctx.jitter,
             straggler,
-            record,
+            record: ctx.record_timeline,
             timeline: Vec::new(),
+            faults: ctx.faults,
+            stalls: ctx.stalls,
+            sends_to: HashMap::new(),
+            absorbed: Vec::new(),
+            iteration: 0,
         }
     }
 
@@ -105,12 +211,35 @@ impl<'a> DeviceRuntime<'a> {
         (ns as f64 * f * self.straggler).round() as Nanos
     }
 
-    fn link_err(&self, e: LinkError, pc: usize, instr: &Instr) -> EmuError {
+    fn report(&self, fault: FaultKind, pc: usize, instr: Option<&Instr>, detail: &str) -> FaultReport {
+        FaultReport {
+            fault,
+            device: self.device,
+            pc,
+            instr: instr.map(|i| i.to_string()).unwrap_or_default(),
+            blocked_peer: None,
+            vtime: self.clock,
+            iteration: self.iteration,
+            detail: detail.to_string(),
+        }
+    }
+
+    fn link_err(&self, e: LinkError, pc: usize, instr: &Instr, peer: DeviceId) -> EmuError {
+        // Any failure to receive over a link with an injected stall is
+        // the stall surfacing — normalize it to the same structured
+        // report whether it manifested as a timeout, a disconnect, or a
+        // mismatched header, so seeded runs reproduce identical reports.
+        if let Some(fault) = self.faults.recv_stall_from(peer) {
+            let mut report = self.report(fault, pc, Some(instr), "incoming link stalled");
+            report.blocked_peer = Some(peer);
+            return EmuError::Fault(report);
+        }
         match e {
             LinkError::Timeout => EmuError::DeadlockSuspected {
                 device: self.device,
                 pc,
                 instr: instr.to_string(),
+                cycle: self.stalls.wait_chain(self.device),
             },
             LinkError::Disconnected => EmuError::PeerFailed {
                 device: self.device,
@@ -125,19 +254,49 @@ impl<'a> DeviceRuntime<'a> {
     }
 
     fn apply_mem(&mut self, pc: usize, instr: &Instr) -> Result<(), EmuError> {
+        let squeeze = self.faults.squeeze;
+        let device = self.device;
         self.rules
-            .apply(&mut self.ledger, self.cost, self.device, instr)
-            .map_err(|cause| EmuError::Oom {
-                device: self.device,
-                pc,
-                instr: instr.to_string(),
-                cause,
+            .apply(&mut self.ledger, self.cost, device, instr)
+            .map_err(|cause| match squeeze {
+                // OOM under an injected capacity squeeze is the squeeze
+                // surfacing: report it as the structured fault.
+                Some(fault) => EmuError::Fault(FaultReport {
+                    fault,
+                    device,
+                    pc,
+                    instr: instr.to_string(),
+                    blocked_peer: None,
+                    vtime: self.clock,
+                    iteration: self.iteration,
+                    detail: format!("memory squeezed: {cause}"),
+                }),
+                None => EmuError::Oom {
+                    device,
+                    pc,
+                    instr: instr.to_string(),
+                    cause,
+                },
             })
     }
 
-    /// Executes one full pass over `program`.
-    pub fn run_iteration(&mut self, program: &DeviceProgram) -> Result<(), EmuError> {
+    /// Executes one full pass over `program` as iteration `iter_idx`.
+    pub fn run_iteration(&mut self, program: &DeviceProgram, iter_idx: u32) -> Result<(), EmuError> {
+        self.iteration = iter_idx;
+        let faults_active = !self.faults.is_empty() && iter_idx == self.faults.iteration;
         for (pc, instr) in program.iter() {
+            if faults_active {
+                if let Some(fault @ FaultKind::Crash { pc: at, .. }) = self.faults.crash {
+                    if at == pc {
+                        return Err(EmuError::Fault(self.report(
+                            fault,
+                            pc,
+                            Some(instr),
+                            "device crashed",
+                        )));
+                    }
+                }
+            }
             let start = self.clock;
             match instr.kind {
                 InstrKind::Forward { .. }
@@ -145,7 +304,28 @@ impl<'a> DeviceRuntime<'a> {
                 | InstrKind::BackwardInput
                 | InstrKind::BackwardWeight
                 | InstrKind::Recompute => {
-                    let dur = self.jittered(self.cost.duration(self.device, instr));
+                    let mut dur = self.jittered(self.cost.duration(self.device, instr));
+                    if faults_active {
+                        let factor = self.faults.slow_factor(iter_idx, pc);
+                        if factor != 1.0 {
+                            dur = (dur as f64 * factor).round() as Nanos;
+                            let fault = self
+                                .faults
+                                .slowdowns
+                                .iter()
+                                .copied()
+                                .find(|s| matches!(*s, FaultKind::Slowdown { from_pc, until_pc, .. } if (from_pc..until_pc).contains(&pc)));
+                            if let Some(fault) = fault {
+                                // One report per fault, not one per slowed
+                                // instruction.
+                                if !self.absorbed.iter().any(|r| r.fault == fault) {
+                                    let rep =
+                                        self.report(fault, pc, Some(instr), "compute slowed");
+                                    self.absorbed.push(rep);
+                                }
+                            }
+                        }
+                    }
                     self.clock += dur;
                     self.apply_mem(pc, instr)?;
                 }
@@ -156,19 +336,64 @@ impl<'a> DeviceRuntime<'a> {
                         MsgClass::Grad
                     };
                     self.clock += self.cost.p2p_launch_overhead();
+                    let nth = {
+                        let c = self.sends_to.entry(peer).or_insert(0);
+                        let n = *c;
+                        *c += 1;
+                        n
+                    };
+                    let fault = if faults_active {
+                        self.faults.send_fault(iter_idx, peer, nth)
+                    } else {
+                        None
+                    };
+                    if let Some(stall @ FaultKind::LinkStall { .. }) = fault {
+                        // Drop the packet: the receiver's pairing recv can
+                        // never complete and reports the stall. The send
+                        // side absorbs it (buffers freed as usual below).
+                        let rep = self.report(stall, pc, Some(instr), "packet dropped");
+                        self.absorbed.push(rep);
+                        self.apply_mem(pc, instr)?;
+                        if self.record {
+                            self.timeline.push(TimelineEvent {
+                                device: self.device,
+                                instr: instr.to_string(),
+                                start,
+                                end: self.clock,
+                            });
+                        }
+                        continue;
+                    }
+                    let delay = match fault {
+                        Some(f @ FaultKind::LinkDelay { extra_ns, .. }) => {
+                            let rep = self.report(f, pc, Some(instr), "packet delayed");
+                            self.absorbed.push(rep);
+                            extra_ns
+                        }
+                        _ => 0,
+                    };
                     let header = Header {
                         class,
                         micro: instr.micro,
                         part: instr.part,
                     };
                     let bytes = self.cost.boundary_bytes(self.device, instr.part);
-                    let half = self
-                        .out
-                        .get_mut(&(peer, class, instr.part))
-                        .unwrap_or_else(|| panic!("{} has no link to {peer:?}", self.device));
-                    match half.send(header, bytes, self.clock) {
+                    let half = match self.out.get_mut(&(peer, class, instr.part)) {
+                        Some(h) => h,
+                        None => {
+                            return Err(EmuError::NoRoute {
+                                device: self.device,
+                                pc,
+                                peer,
+                            })
+                        }
+                    };
+                    self.stalls.enter(self.device, peer, pc);
+                    let sent = half.send_delayed(header, bytes, self.clock, delay);
+                    self.stalls.clear(self.device);
+                    match sent {
                         Ok(t) => self.clock = t,
-                        Err(e) => return Err(self.link_err(e, pc, instr)),
+                        Err(e) => return Err(self.link_err(e, pc, instr, peer)),
                     }
                     self.apply_mem(pc, instr)?;
                 }
@@ -185,16 +410,25 @@ impl<'a> DeviceRuntime<'a> {
                         part: instr.part,
                     };
                     let cost = self.cost;
-                    let half = self
-                        .inp
-                        .get_mut(&(peer, class, instr.part))
-                        .unwrap_or_else(|| panic!("{} has no link from {peer:?}", self.device));
+                    let half = match self.inp.get_mut(&(peer, class, instr.part)) {
+                        Some(h) => h,
+                        None => {
+                            return Err(EmuError::NoRoute {
+                                device: self.device,
+                                pc,
+                                peer,
+                            })
+                        }
+                    };
                     let me = self.device;
-                    match half.recv(expect, self.clock, |b| {
+                    self.stalls.enter(me, peer, pc);
+                    let got = half.recv(expect, self.clock, |b| {
                         cost.p2p_time_between(peer, me, b)
-                    }) {
+                    });
+                    self.stalls.clear(me);
+                    match got {
                         Ok(t) => self.clock = t,
-                        Err(e) => return Err(self.link_err(e, pc, instr)),
+                        Err(e) => return Err(self.link_err(e, pc, instr, peer)),
                     }
                 }
                 InstrKind::AllReduce => {
@@ -223,11 +457,41 @@ impl<'a> DeviceRuntime<'a> {
             peak_mem: self.ledger.peak(),
             leaked: self.ledger.live_count(),
             timeline: self.timeline,
+            absorbed: self.absorbed,
         }
     }
 
     /// Current virtual clock (tests).
     pub fn clock(&self) -> Nanos {
         self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_chain_names_a_cycle() {
+        let t = StallTable::new(3);
+        t.enter(DeviceId(0), DeviceId(1), 5);
+        t.enter(DeviceId(1), DeviceId(2), 7);
+        t.enter(DeviceId(2), DeviceId(0), 9);
+        assert_eq!(
+            t.wait_chain(DeviceId(0)),
+            vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(0)]
+        );
+        t.clear(DeviceId(2));
+        assert_eq!(
+            t.wait_chain(DeviceId(0)),
+            vec![DeviceId(0), DeviceId(1), DeviceId(2)]
+        );
+    }
+
+    #[test]
+    fn wait_chain_stops_at_self_loops() {
+        let t = StallTable::new(2);
+        t.enter(DeviceId(1), DeviceId(1), 0);
+        assert_eq!(t.wait_chain(DeviceId(1)), vec![DeviceId(1), DeviceId(1)]);
     }
 }

@@ -1,11 +1,12 @@
 //! Emulator error types.
 
+use crate::faults::FaultReport;
 use mario_ir::{DeviceId, OomError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a cluster run failed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EmuError {
     /// A device exceeded its memory capacity.
     Oom {
@@ -27,7 +28,8 @@ pub enum EmuError {
         /// What was expected vs found.
         detail: String,
     },
-    /// A blocking p2p operation timed out — the schedule deadlocks.
+    /// A blocking p2p operation stalled past the watchdog — the schedule
+    /// deadlocks.
     DeadlockSuspected {
         /// The blocked device.
         device: DeviceId,
@@ -35,6 +37,9 @@ pub enum EmuError {
         pc: usize,
         /// The blocked instruction (rendered).
         instr: String,
+        /// The wait chain starting at `device`: each entry is blocked on
+        /// the next; a repeated first entry names a true cycle.
+        cycle: Vec<DeviceId>,
     },
     /// A peer device aborted, closing its channels.
     PeerFailed {
@@ -42,6 +47,25 @@ pub enum EmuError {
         device: DeviceId,
         /// Instruction index within the device program.
         pc: usize,
+    },
+    /// An instruction names a peer no link was built for (malformed
+    /// schedule).
+    NoRoute {
+        /// The device missing the link.
+        device: DeviceId,
+        /// Instruction index within the device program.
+        pc: usize,
+        /// The unreachable peer.
+        peer: DeviceId,
+    },
+    /// An injected fault terminated the run (structured attribution).
+    Fault(FaultReport),
+    /// A device thread panicked; the panic was contained and converted.
+    WorkerPanicked {
+        /// The panicking device.
+        device: DeviceId,
+        /// Panic payload, if it was a string.
+        detail: String,
     },
 }
 
@@ -52,7 +76,10 @@ impl EmuError {
             EmuError::Oom { device, .. }
             | EmuError::CommMismatch { device, .. }
             | EmuError::DeadlockSuspected { device, .. }
-            | EmuError::PeerFailed { device, .. } => *device,
+            | EmuError::PeerFailed { device, .. }
+            | EmuError::NoRoute { device, .. }
+            | EmuError::WorkerPanicked { device, .. } => *device,
+            EmuError::Fault(report) => report.device,
         }
     }
 
@@ -60,6 +87,29 @@ impl EmuError {
     /// penalizes, §5.3).
     pub fn is_oom(&self) -> bool {
         matches!(self, EmuError::Oom { .. })
+    }
+
+    /// The structured fault report, when the failure was injected.
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        match self {
+            EmuError::Fault(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Root-cause rank used by the runner when several devices fail at
+    /// once: lower wins. Injected faults outrank the secondary errors
+    /// they cascade into (peer failures, watchdog timeouts).
+    pub(crate) fn priority(&self) -> u8 {
+        match self {
+            EmuError::Fault(_) => 0,
+            EmuError::Oom { .. } => 1,
+            EmuError::CommMismatch { .. } => 2,
+            EmuError::NoRoute { .. } => 3,
+            EmuError::DeadlockSuspected { .. } => 4,
+            EmuError::PeerFailed { .. } => 5,
+            EmuError::WorkerPanicked { .. } => 6,
+        }
     }
 }
 
@@ -75,11 +125,28 @@ impl fmt::Display for EmuError {
             EmuError::CommMismatch { device, pc, detail } => {
                 write!(f, "{device} comm mismatch at #{pc}: {detail}")
             }
-            EmuError::DeadlockSuspected { device, pc, instr } => {
-                write!(f, "{device} blocked at #{pc} ({instr}): deadlock suspected")
+            EmuError::DeadlockSuspected {
+                device,
+                pc,
+                instr,
+                cycle,
+            } => {
+                write!(f, "{device} blocked at #{pc} ({instr}): deadlock suspected")?;
+                if !cycle.is_empty() {
+                    let chain: Vec<String> = cycle.iter().map(|d| d.to_string()).collect();
+                    write!(f, " [wait chain: {}]", chain.join(" -> "))?;
+                }
+                Ok(())
             }
             EmuError::PeerFailed { device, pc } => {
                 write!(f, "{device} at #{pc}: peer device failed")
+            }
+            EmuError::NoRoute { device, pc, peer } => {
+                write!(f, "{device} at #{pc}: no link to {peer}")
+            }
+            EmuError::Fault(report) => write!(f, "injected fault: {report}"),
+            EmuError::WorkerPanicked { device, detail } => {
+                write!(f, "{device} worker panicked: {detail}")
             }
         }
     }
@@ -90,6 +157,7 @@ impl std::error::Error for EmuError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultKind;
 
     #[test]
     fn oom_classification() {
@@ -110,7 +178,43 @@ mod tests {
             device: DeviceId(0),
             pc: 0,
             instr: "RA0^0<d1".into(),
+            cycle: vec![],
         };
         assert!(!d.is_oom());
+    }
+
+    #[test]
+    fn deadlock_display_names_the_wait_chain() {
+        let d = EmuError::DeadlockSuspected {
+            device: DeviceId(0),
+            pc: 4,
+            instr: "RA1^0<d1".into(),
+            cycle: vec![DeviceId(0), DeviceId(1), DeviceId(0)],
+        };
+        let s = d.to_string();
+        assert!(s.contains("wait chain"), "{s}");
+        assert!(s.contains("d0 -> d1 -> d0"), "{s}");
+    }
+
+    #[test]
+    fn fault_errors_carry_their_report_and_win_priority() {
+        let report = FaultReport {
+            fault: FaultKind::Crash {
+                device: DeviceId(2),
+                pc: 9,
+            },
+            device: DeviceId(2),
+            pc: 9,
+            instr: "B1^0".into(),
+            blocked_peer: None,
+            vtime: 1234,
+            iteration: 0,
+            detail: "device crashed".into(),
+        };
+        let e = EmuError::Fault(report.clone());
+        assert_eq!(e.device(), DeviceId(2));
+        assert_eq!(e.fault_report(), Some(&report));
+        assert!(e.priority() < EmuError::PeerFailed { device: DeviceId(0), pc: 0 }.priority());
+        assert!(e.to_string().contains("crash"), "{e}");
     }
 }

@@ -1,0 +1,486 @@
+//! Deterministic fault injection: seeded, reproducible fault plans the
+//! runner threads through devices and links, plus the structured reports
+//! every induced failure is converted into.
+//!
+//! The fault layer is strictly opt-in: an empty [`FaultPlan`] leaves the
+//! emulator bit-identical to the fault-free build (the
+//! `simulator_matches_emulator` property), while a populated plan lets a
+//! run answer "what happens to this schedule when a device straggles 10×,
+//! a link stalls, or memory headroom shrinks?" — and guarantees the answer
+//! is a terminating run with a [`FaultReport`], never a hang or a panic.
+
+use mario_ir::{DeviceId, InstrKind, Nanos, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Compute on `device` runs `factor`× slower for instructions with
+    /// `from_pc <= pc < until_pc` (a transient straggler).
+    Slowdown {
+        /// The straggling device.
+        device: DeviceId,
+        /// Slowdown multiplier (e.g. 10.0).
+        factor: f64,
+        /// First affected instruction index.
+        from_pc: usize,
+        /// One past the last affected instruction index.
+        until_pc: usize,
+    },
+    /// `device` aborts immediately before executing instruction `pc`.
+    Crash {
+        /// The crashing device.
+        device: DeviceId,
+        /// Instruction index at which the device dies.
+        pc: usize,
+    },
+    /// The `nth` packet `src` sends to `dst` (counting all classes and
+    /// parts, 0-based) departs `extra_ns` late in virtual time. The run
+    /// completes; the fault is absorbed and logged.
+    LinkDelay {
+        /// Sending side of the link.
+        src: DeviceId,
+        /// Receiving side of the link.
+        dst: DeviceId,
+        /// 0-based index of the affected packet on the `src → dst` pair.
+        nth: usize,
+        /// Extra virtual latency, ns.
+        extra_ns: Nanos,
+    },
+    /// The `nth` packet `src` sends to `dst` is lost: the receiver's
+    /// blocking recv can never pair and the stall is reported against
+    /// this fault.
+    LinkStall {
+        /// Sending side of the link.
+        src: DeviceId,
+        /// Receiving side of the link.
+        dst: DeviceId,
+        /// 0-based index of the dropped packet on the `src → dst` pair.
+        nth: usize,
+    },
+    /// `device`'s memory capacity is clamped to `capacity` bytes for the
+    /// whole run (a mid-fleet headroom squeeze).
+    MemSqueeze {
+        /// The squeezed device.
+        device: DeviceId,
+        /// New capacity, bytes.
+        capacity: u64,
+    },
+}
+
+impl FaultKind {
+    /// The device at the fault site (for links: the sender).
+    pub fn site(&self) -> DeviceId {
+        match *self {
+            FaultKind::Slowdown { device, .. }
+            | FaultKind::Crash { device, .. }
+            | FaultKind::MemSqueeze { device, .. } => device,
+            FaultKind::LinkDelay { src, .. } | FaultKind::LinkStall { src, .. } => src,
+        }
+    }
+
+    /// True for faults a healthy schedule absorbs without failing
+    /// (slowdowns and finite link delays).
+    pub fn is_absorbable(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::Slowdown { .. } | FaultKind::LinkDelay { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultKind::Slowdown {
+                device,
+                factor,
+                from_pc,
+                until_pc,
+            } => write!(f, "slowdown {factor}x on {device} pcs {from_pc}..{until_pc}"),
+            FaultKind::Crash { device, pc } => write!(f, "crash of {device} at #{pc}"),
+            FaultKind::LinkDelay {
+                src,
+                dst,
+                nth,
+                extra_ns,
+            } => write!(f, "delay +{extra_ns}ns on packet {nth} of {src}->{dst}"),
+            FaultKind::LinkStall { src, dst, nth } => {
+                write!(f, "stall dropping packet {nth} of {src}->{dst}")
+            }
+            FaultKind::MemSqueeze { device, capacity } => {
+                write!(f, "memory squeeze of {device} to {capacity} B")
+            }
+        }
+    }
+}
+
+/// A reproducible set of faults to inject into one run. Plans built from
+/// the same seed are identical, so every failure they induce is
+/// re-observable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The faults to inject.
+    pub faults: Vec<FaultKind>,
+    /// Iteration (0-based) during which slowdown/crash/link faults fire;
+    /// memory squeezes clamp capacity for the whole run.
+    pub iteration: u32,
+}
+
+impl FaultPlan {
+    /// The empty plan: emulation behaves exactly as without the fault
+    /// layer.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no fault is injected.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds a fault.
+    pub fn with(mut self, fault: FaultKind) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Draws one random single-fault plan for `schedule`, uniformly over
+    /// fault kinds and sites. Deterministic in `seed`.
+    pub fn single_random(seed: u64, schedule: &Schedule) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kind = rng.gen_range(0u32..5);
+        Self::default().with(draw_fault(&mut rng, schedule, kind))
+    }
+
+    /// Draws a random crash or link-stall plan (the two hard-failure
+    /// kinds). Deterministic in `seed`.
+    pub fn single_crash_or_stall(seed: u64, schedule: &Schedule) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kind = if rng.gen_bool(0.5) { 1 } else { 3 };
+        Self::default().with(draw_fault(&mut rng, schedule, kind))
+    }
+
+    /// The slice of this plan one device must enforce.
+    pub fn for_device(&self, device: DeviceId) -> DeviceFaults {
+        let mut df = DeviceFaults {
+            iteration: self.iteration,
+            ..DeviceFaults::default()
+        };
+        for &fault in &self.faults {
+            match fault {
+                FaultKind::Slowdown { device: d, .. } if d == device => {
+                    df.slowdowns.push(fault)
+                }
+                FaultKind::Crash { device: d, .. } if d == device => df.crash = Some(fault),
+                FaultKind::MemSqueeze { device: d, .. } if d == device => {
+                    df.squeeze = Some(fault)
+                }
+                FaultKind::LinkDelay { src, .. } | FaultKind::LinkStall { src, .. }
+                    if src == device =>
+                {
+                    df.send_faults.push(fault)
+                }
+                _ => {}
+            }
+            if let FaultKind::LinkStall { dst, .. } = fault {
+                if dst == device {
+                    df.recv_stalls.push(fault);
+                }
+            }
+        }
+        df
+    }
+}
+
+/// Picks a fault of the requested kind (0 slowdown, 1 crash, 2 delay,
+/// 3 stall, 4 squeeze) at a random admissible site of `schedule`.
+fn draw_fault(rng: &mut StdRng, schedule: &Schedule, kind: u32) -> FaultKind {
+    let device = DeviceId(rng.gen_range(0..schedule.devices()));
+    let len = schedule.program(device).len().max(1);
+    match kind {
+        0 => {
+            let from_pc = rng.gen_range(0..len);
+            let until_pc = (from_pc + 1 + rng.gen_range(0..len)).min(len);
+            FaultKind::Slowdown {
+                device,
+                factor: 10.0,
+                from_pc,
+                until_pc,
+            }
+        }
+        1 => FaultKind::Crash {
+            device,
+            pc: rng.gen_range(0..len),
+        },
+        2 | 3 => {
+            // Pick a random send instruction anywhere in the schedule and
+            // target the packet it will produce.
+            let sends: Vec<(DeviceId, DeviceId, usize)> = send_sites(schedule);
+            if sends.is_empty() {
+                // Degenerate schedule without communication: fall back to
+                // a crash so the plan still has a single admissible fault.
+                return FaultKind::Crash {
+                    device,
+                    pc: rng.gen_range(0..len),
+                };
+            }
+            let (src, dst, nth) = sends[rng.gen_range(0..sends.len())];
+            if kind == 2 {
+                FaultKind::LinkDelay {
+                    src,
+                    dst,
+                    nth,
+                    extra_ns: 1_000 * (1 + rng.gen_range(0u64..50)),
+                }
+            } else {
+                FaultKind::LinkStall { src, dst, nth }
+            }
+        }
+        _ => FaultKind::MemSqueeze {
+            device,
+            capacity: 0,
+        },
+    }
+}
+
+/// Every `(src, dst, nth)` packet a schedule will send, in program order
+/// per sender (the admissible link-fault sites).
+fn send_sites(schedule: &Schedule) -> Vec<(DeviceId, DeviceId, usize)> {
+    let mut sites = Vec::new();
+    for prog in schedule.programs() {
+        let mut per_dst: std::collections::HashMap<DeviceId, usize> =
+            std::collections::HashMap::new();
+        for (_, instr) in prog.iter() {
+            let peer = match instr.kind {
+                InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => peer,
+                _ => continue,
+            };
+            let nth = per_dst.entry(peer).or_insert(0);
+            sites.push((prog.device, peer, *nth));
+            *nth += 1;
+        }
+    }
+    sites
+}
+
+/// The faults one device enforces while executing (a projection of the
+/// plan computed by [`FaultPlan::for_device`]).
+#[derive(Debug, Clone, Default)]
+pub struct DeviceFaults {
+    /// Iteration during which transient faults fire.
+    pub iteration: u32,
+    /// Active [`FaultKind::Slowdown`]s for this device.
+    pub slowdowns: Vec<FaultKind>,
+    /// Pending [`FaultKind::Crash`] for this device.
+    pub crash: Option<FaultKind>,
+    /// Pending [`FaultKind::MemSqueeze`] for this device.
+    pub squeeze: Option<FaultKind>,
+    /// Link faults where this device is the sender.
+    pub send_faults: Vec<FaultKind>,
+    /// Link stalls where this device is the receiver (used to attribute
+    /// the resulting blocked recv to the injected fault).
+    pub recv_stalls: Vec<FaultKind>,
+}
+
+impl DeviceFaults {
+    /// True when this device has nothing to enforce.
+    pub fn is_empty(&self) -> bool {
+        self.slowdowns.is_empty()
+            && self.crash.is_none()
+            && self.squeeze.is_none()
+            && self.send_faults.is_empty()
+            && self.recv_stalls.is_empty()
+    }
+
+    /// Capacity clamp from a pending squeeze, if any.
+    pub fn squeezed_capacity(&self) -> Option<u64> {
+        match self.squeeze {
+            Some(FaultKind::MemSqueeze { capacity, .. }) => Some(capacity),
+            _ => None,
+        }
+    }
+
+    /// Combined slowdown factor for instruction `pc` of iteration `iter`.
+    pub fn slow_factor(&self, iter: u32, pc: usize) -> f64 {
+        if iter != self.iteration {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        for s in &self.slowdowns {
+            if let FaultKind::Slowdown {
+                factor,
+                from_pc,
+                until_pc,
+                ..
+            } = *s
+            {
+                if (from_pc..until_pc).contains(&pc) {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// The send fault hitting the `nth` packet to `dst` in iteration
+    /// `iter`, if any.
+    pub fn send_fault(&self, iter: u32, dst: DeviceId, nth: usize) -> Option<FaultKind> {
+        if iter != self.iteration {
+            return None;
+        }
+        self.send_faults.iter().copied().find(|f| match *f {
+            FaultKind::LinkDelay { dst: d, nth: n, .. }
+            | FaultKind::LinkStall { dst: d, nth: n, .. } => d == dst && n == nth,
+            _ => false,
+        })
+    }
+
+    /// The injected stall on the incoming link from `src`, if any (any
+    /// failure to receive from `src` is then attributed to it).
+    pub fn recv_stall_from(&self, src: DeviceId) -> Option<FaultKind> {
+        self.recv_stalls.iter().copied().find(|f| match *f {
+            FaultKind::LinkStall { src: s, .. } => s == src,
+            _ => false,
+        })
+    }
+}
+
+/// The structured outcome of an induced failure: which fault fired, who
+/// observed it, where, and when (virtual time). Two runs of the same
+/// seeded plan produce identical reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// The injected fault this failure is attributed to.
+    pub fault: FaultKind,
+    /// The device that observed the failure.
+    pub device: DeviceId,
+    /// Instruction index at which the failure surfaced.
+    pub pc: usize,
+    /// The surfacing instruction (rendered), if the device got that far.
+    pub instr: String,
+    /// The peer the observer was blocked on, for communication stalls.
+    pub blocked_peer: Option<DeviceId>,
+    /// Virtual time of the failure, ns.
+    pub vtime: Nanos,
+    /// Iteration (0-based) during which the failure surfaced.
+    pub iteration: u32,
+    /// Normalized cause description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} at #{} ({}) t={}ns iter {}: {}",
+            self.fault, self.device, self.pc, self.instr, self.vtime, self.iteration, self.detail
+        )?;
+        if let Some(p) = self.blocked_peer {
+            write!(f, " (blocked on {p})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mario_ir::SchemeKind;
+    use mario_schedules::{generate, ScheduleConfig};
+
+    #[test]
+    fn same_seed_same_plan() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        for seed in 0..64 {
+            let a = FaultPlan::single_random(seed, &s);
+            let b = FaultPlan::single_random(seed, &s);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(a.faults.len(), 1);
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_fault_kind() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        let mut seen = [false; 5];
+        for seed in 0..256 {
+            let p = FaultPlan::single_random(seed, &s);
+            let i = match p.faults[0] {
+                FaultKind::Slowdown { .. } => 0,
+                FaultKind::Crash { .. } => 1,
+                FaultKind::LinkDelay { .. } => 2,
+                FaultKind::LinkStall { .. } => 3,
+                FaultKind::MemSqueeze { .. } => 4,
+            };
+            seen[i] = true;
+        }
+        assert_eq!(seen, [true; 5]);
+    }
+
+    #[test]
+    fn device_projection_routes_faults() {
+        let d0 = DeviceId(0);
+        let d1 = DeviceId(1);
+        let plan = FaultPlan::none()
+            .with(FaultKind::Crash { device: d0, pc: 3 })
+            .with(FaultKind::LinkStall {
+                src: d0,
+                dst: d1,
+                nth: 2,
+            })
+            .with(FaultKind::MemSqueeze {
+                device: d1,
+                capacity: 64,
+            });
+        let f0 = plan.for_device(d0);
+        assert!(f0.crash.is_some());
+        assert_eq!(f0.send_faults.len(), 1);
+        assert!(f0.recv_stalls.is_empty());
+        let f1 = plan.for_device(d1);
+        assert!(f1.crash.is_none());
+        assert_eq!(f1.squeezed_capacity(), Some(64));
+        assert!(f1.recv_stall_from(d0).is_some());
+        assert!(f1.recv_stall_from(d1).is_none());
+        assert!(plan.for_device(DeviceId(2)).is_empty());
+    }
+
+    #[test]
+    fn slow_factor_windows() {
+        let d = DeviceId(0);
+        let plan = FaultPlan::none().with(FaultKind::Slowdown {
+            device: d,
+            factor: 10.0,
+            from_pc: 2,
+            until_pc: 5,
+        });
+        let df = plan.for_device(d);
+        assert_eq!(df.slow_factor(0, 1), 1.0);
+        assert_eq!(df.slow_factor(0, 2), 10.0);
+        assert_eq!(df.slow_factor(0, 4), 10.0);
+        assert_eq!(df.slow_factor(0, 5), 1.0);
+        // Wrong iteration: inactive.
+        assert_eq!(df.slow_factor(1, 2), 1.0);
+    }
+
+    #[test]
+    fn send_sites_match_schedule_sends() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 2, 2));
+        let sites = send_sites(&s);
+        let sends: usize = s
+            .programs()
+            .iter()
+            .map(|p| {
+                p.count(|i| {
+                    matches!(
+                        i.kind,
+                        InstrKind::SendAct { .. } | InstrKind::SendGrad { .. }
+                    )
+                })
+            })
+            .sum();
+        assert_eq!(sites.len(), sends);
+    }
+}

@@ -13,14 +13,26 @@
 //! [`mario_ir::CostModel`] (optionally perturbed by seeded jitter), and all
 //! clock arithmetic depends only on message timestamps, so results are
 //! bit-identical across thread interleavings.
+//!
+//! The [`faults`] module adds seeded, deterministic fault injection on top:
+//! [`run_with_faults`] enforces a [`FaultPlan`] (stragglers, crashes, link
+//! delays/stalls, memory squeezes) and converts every induced failure into
+//! a structured [`FaultReport`]; [`run_with_recovery`] layers bounded
+//! checkpoint-restart on top. With an empty plan the fault layer is
+//! inert and emulation is bit-identical to the plain [`run`].
 
 #![warn(missing_docs)]
 
 pub mod device;
 pub mod error;
+pub mod faults;
 pub mod link;
 pub mod runner;
 
-pub use device::{DeviceReport, TimelineEvent};
+pub use device::{DeviceReport, StallTable, TimelineEvent};
 pub use error::EmuError;
-pub use runner::{run, EmulatorConfig, RunReport};
+pub use faults::{FaultKind, FaultPlan, FaultReport};
+pub use runner::{
+    effective_watchdog, run, run_with_faults, run_with_recovery, EmulatorConfig, RecoveredRun,
+    RunReport,
+};

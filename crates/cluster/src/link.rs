@@ -99,7 +99,21 @@ pub fn link(capacity: usize, timeout: Duration) -> (SendHalf, RecvHalf) {
 impl SendHalf {
     /// Issues a send at virtual time `now`; returns the sender's clock after
     /// the operation (delayed if the buffer was full).
-    pub fn send(&mut self, header: Header, bytes: u64, mut now: Nanos) -> Result<Nanos, LinkError> {
+    pub fn send(&mut self, header: Header, bytes: u64, now: Nanos) -> Result<Nanos, LinkError> {
+        self.send_delayed(header, bytes, now, 0)
+    }
+
+    /// Like [`SendHalf::send`], but the packet departs `delay` ns after the
+    /// send is issued (an injected link delay): the packet's timestamp is
+    /// pushed back while the sender's own clock is unaffected, exactly as
+    /// if the wire were transiently slow.
+    pub fn send_delayed(
+        &mut self,
+        header: Header,
+        bytes: u64,
+        mut now: Nanos,
+        delay: Nanos,
+    ) -> Result<Nanos, LinkError> {
         if self.pending.len() == self.capacity {
             let dequeued_at = match self.ack.recv_timeout(self.timeout) {
                 Ok(t) => t,
@@ -112,7 +126,7 @@ impl SendHalf {
         let pkt = Packet {
             header,
             bytes,
-            sent_at: now,
+            sent_at: now + delay,
         };
         self.data.send(pkt).map_err(|_| LinkError::Disconnected)?;
         self.pending.push_back(());
@@ -217,6 +231,20 @@ mod tests {
         assert_eq!(rx.recv(hdr(0), 1_000, |_| 0).unwrap(), 1_000);
         assert_eq!(rx.recv(hdr(1), 1_000, |_| 0).unwrap(), 1_000);
         assert_eq!(rx.recv(hdr(2), 1_000, |_| 0).unwrap(), 1_000);
+        s.join().unwrap();
+    }
+
+    #[test]
+    fn delayed_send_pushes_arrival_not_sender_clock() {
+        let (mut tx, mut rx) = link(1, Duration::from_secs(2));
+        let s = thread::spawn(move || {
+            // Sender's own clock is unaffected by the injected delay...
+            let t = tx.send_delayed(hdr(0), 100, 1_000, 5_000).unwrap();
+            assert_eq!(t, 1_000);
+        });
+        // ...but the packet departs 5000 ns late, so arrival shifts.
+        let t = rx.recv(hdr(0), 0, |b| b * 10).unwrap();
+        assert_eq!(t, 7_000); // (1000 + 5000) + 100*10
         s.join().unwrap();
     }
 

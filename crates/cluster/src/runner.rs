@@ -7,10 +7,14 @@
 //! concurrency and blocking p2p, so schedule bugs (mis-paired sends,
 //! buffer-order deadlocks, activation-lifecycle leaks) manifest exactly as
 //! they would on hardware, while per-instruction latencies come from the
-//! cost model.
+//! cost model. [`run_with_faults`] additionally threads a seeded
+//! [`FaultPlan`] through the devices, and [`run_with_recovery`] restarts a
+//! faulted run a bounded number of times (the checkpoint-restart loop a
+//! real fleet scheduler would drive).
 
-use crate::device::{DeviceReport, DeviceRuntime, TimelineEvent};
+use crate::device::{DeviceCtx, DeviceReport, DeviceRuntime, StallTable, TimelineEvent};
 use crate::error::EmuError;
+use crate::faults::{FaultPlan, FaultReport};
 use crate::link::{link, RecvHalf, SendHalf};
 use mario_ir::exec::MsgClass;
 use mario_ir::{CostModel, DeviceId, InstrKind, Nanos, Schedule};
@@ -38,7 +42,10 @@ pub struct EmulatorConfig {
     pub mem_capacity: Option<u64>,
     /// Record a full per-instruction timeline.
     pub record_timeline: bool,
-    /// Real-time watchdog for blocking ops — exceeded means deadlock.
+    /// Minimum real-time watchdog for blocking ops. The effective watchdog
+    /// additionally scales with schedule size (see [`effective_watchdog`])
+    /// so big schedules on loaded machines are not misdiagnosed as
+    /// deadlocked; exceeding it means deadlock.
     pub watchdog: Duration,
 }
 
@@ -57,6 +64,22 @@ impl Default for EmulatorConfig {
     }
 }
 
+/// Real-time budget per emulated instruction used to scale the watchdog.
+const WATCHDOG_PER_INSTR: Duration = Duration::from_micros(50);
+/// Hard ceiling on the scaled watchdog.
+const WATCHDOG_CAP: Duration = Duration::from_secs(60);
+
+/// The watchdog actually armed for `schedule` under `cfg`: the configured
+/// floor, grown with the work a single device might have to wait behind
+/// (instructions × iterations), capped at [`WATCHDOG_CAP`]. A fixed
+/// wall-clock watchdog misfires on schedules much larger than the default
+/// was tuned for; scaling keeps "no progress" meaning "deadlock".
+pub fn effective_watchdog(schedule: &Schedule, cfg: &EmulatorConfig) -> Duration {
+    let work = schedule.total_instrs() as u32 * cfg.iterations.max(1);
+    let scaled = WATCHDOG_PER_INSTR.saturating_mul(work).min(WATCHDOG_CAP);
+    cfg.watchdog.max(scaled)
+}
+
 /// Results of an emulated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -70,6 +93,9 @@ pub struct RunReport {
     pub peak_mem: Vec<u64>,
     /// Merged instruction timeline (empty unless recording was enabled).
     pub timeline: Vec<TimelineEvent>,
+    /// Injected faults the run absorbed without failing (slowdowns,
+    /// link delays), in device order.
+    pub faults: Vec<FaultReport>,
 }
 
 impl RunReport {
@@ -90,14 +116,30 @@ impl RunReport {
     }
 }
 
-/// Runs `schedule` on the emulated cluster.
+/// Runs `schedule` on the emulated cluster (no injected faults).
 pub fn run(
     schedule: &Schedule,
     cost: &dyn CostModel,
     cfg: EmulatorConfig,
 ) -> Result<RunReport, EmuError> {
+    run_with_faults(schedule, cost, cfg, &FaultPlan::none())
+}
+
+/// Runs `schedule` with the faults of `plan` injected. With an empty plan
+/// this is exactly [`run`]; with a populated plan every induced failure
+/// terminates the run with a structured [`EmuError::Fault`] naming the
+/// injected fault, the observing device, its pc and virtual time — never a
+/// hang, never a panic.
+pub fn run_with_faults(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+) -> Result<RunReport, EmuError> {
     let devices = schedule.devices() as usize;
     let rules = mario_ir::MemoryRules::new(schedule);
+    let watchdog = effective_watchdog(schedule, &cfg);
+    let stalls = StallTable::new(devices);
 
     // Discover which directed (sender, receiver, class) links exist.
     let mut send_ends: Vec<HashMap<(DeviceId, MsgClass, mario_ir::PartId), SendHalf>> =
@@ -112,61 +154,86 @@ pub fn run(
                 _ => continue,
             };
             let key_s = (peer, class, i.part);
-            if !send_ends[prog.device.index()].contains_key(&key_s) {
-                let (tx, rx) = link(cfg.channel_capacity, cfg.watchdog);
-                send_ends[prog.device.index()].insert(key_s, tx);
+            if let std::collections::hash_map::Entry::Vacant(slot) =
+                send_ends[prog.device.index()].entry(key_s)
+            {
+                let (tx, rx) = link(cfg.channel_capacity, watchdog);
+                slot.insert(tx);
                 recv_ends[peer.index()].insert((prog.device, class, i.part), rx);
             }
         }
     }
 
-    let mut results: Vec<Option<Result<DeviceReport, EmuError>>> =
-        (0..devices).map(|_| None).collect();
+    let mut results: Vec<Result<DeviceReport, EmuError>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(devices);
         for (d, (out, inp)) in send_ends
             .into_iter()
-            .zip(recv_ends.into_iter())
+            .zip(recv_ends)
             .enumerate()
         {
             let rules = &rules;
-            let program = schedule.program(DeviceId(d as u32));
+            let stalls = &stalls;
+            let device = DeviceId(d as u32);
+            let program = schedule.program(device);
+            let faults = plan.for_device(device);
             handles.push(scope.spawn(move || {
                 let mut rt = DeviceRuntime::new(
-                    DeviceId(d as u32),
-                    cost,
-                    rules,
-                    cfg.mem_capacity,
+                    DeviceCtx {
+                        device,
+                        cost,
+                        rules,
+                        mem_capacity: cfg.mem_capacity,
+                        jitter: cfg.jitter,
+                        straggler_spread: cfg.straggler_spread,
+                        seed: cfg.seed,
+                        record_timeline: cfg.record_timeline,
+                        faults,
+                        stalls,
+                    },
                     out,
                     inp,
-                    cfg.jitter,
-                    cfg.straggler_spread,
-                    cfg.seed,
-                    cfg.record_timeline,
                 );
-                for _ in 0..cfg.iterations {
-                    rt.run_iteration(program)?;
+                for iter in 0..cfg.iterations {
+                    rt.run_iteration(program, iter)?;
                 }
                 Ok(rt.finish())
             }));
         }
         for (d, h) in handles.into_iter().enumerate() {
-            results[d] = Some(h.join().expect("device thread panicked"));
+            // A panicking device must not take the emulator down with it:
+            // contain the panic and convert it into a structured error.
+            results.push(h.join().unwrap_or_else(|payload| {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(EmuError::WorkerPanicked {
+                    device: DeviceId(d as u32),
+                    detail,
+                })
+            }));
         }
     });
 
     let mut reports = Vec::with_capacity(devices);
     let mut errors = Vec::new();
-    for r in results.into_iter().flatten() {
+    for r in results {
         match r {
             Ok(rep) => reports.push(rep),
             Err(e) => errors.push(e),
         }
     }
-    if let Some(first) = errors.iter().find(|e| e.is_oom()).or(errors.first()) {
-        // Prefer reporting the root cause (OOM) over secondary
-        // peer-failure/watchdog errors it triggered.
-        return Err(first.clone());
+    // When several devices fail at once (a crash cascades into peer
+    // failures and watchdog timeouts), report the root cause: lowest
+    // priority rank wins, device order breaks ties — deterministic under
+    // any thread interleaving.
+    if let Some(root) = errors
+        .iter()
+        .min_by_key(|e| (e.priority(), e.device().index()))
+    {
+        return Err(root.clone());
     }
 
     let device_clocks: Vec<Nanos> = reports.iter().map(|r| r.clock).collect();
@@ -176,23 +243,84 @@ pub fn run(
         .flat_map(|r| r.timeline.iter().cloned())
         .collect();
     timeline.sort_by_key(|e| (e.start, e.device.0));
+    let faults: Vec<FaultReport> = reports
+        .iter()
+        .flat_map(|r| r.absorbed.iter().cloned())
+        .collect();
     Ok(RunReport {
         total_ns,
         iter_ns: total_ns / cfg.iterations as u64,
         device_clocks,
         peak_mem: reports.iter().map(|r| r.peak_mem).collect(),
         timeline,
+        faults,
     })
+}
+
+/// A run that survived injected faults via restarts.
+#[derive(Debug, Clone)]
+pub struct RecoveredRun {
+    /// The final, successful run.
+    pub report: RunReport,
+    /// Total attempts, including the successful one (1 = clean first try).
+    pub attempts: u32,
+    /// Structured reports of every fault that killed an attempt.
+    pub fault_log: Vec<FaultReport>,
+}
+
+/// Runs `schedule` under `plan`, restarting after each injected-fault
+/// failure — the emulator's model of checkpoint-restart recovery. Faults
+/// fire once; a restart re-runs without the already-fired plan (the
+/// replacement device / healed link). Non-injected errors (real OOM, real
+/// deadlock) propagate immediately: restarting cannot fix a broken
+/// schedule. At most `max_restarts` restarts are attempted.
+pub fn run_with_recovery(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    max_restarts: u32,
+) -> Result<RecoveredRun, EmuError> {
+    let mut fault_log = Vec::new();
+    let mut attempts = 0;
+    let mut active = plan.clone();
+    loop {
+        attempts += 1;
+        match run_with_faults(schedule, cost, cfg, &active) {
+            Ok(report) => {
+                return Ok(RecoveredRun {
+                    report,
+                    attempts,
+                    fault_log,
+                })
+            }
+            Err(EmuError::Fault(report)) if attempts <= max_restarts => {
+                fault_log.push(report);
+                // The faulted component is replaced/healed: the remaining
+                // attempts run fault-free.
+                active = FaultPlan::none();
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultKind;
     use mario_ir::UnitCost;
     use mario_schedules::{generate, ScheduleConfig};
 
     fn unit() -> UnitCost {
         UnitCost::paper_grid()
+    }
+
+    fn fast(cfg: EmulatorConfig) -> EmulatorConfig {
+        EmulatorConfig {
+            watchdog: Duration::from_millis(300),
+            ..cfg
+        }
     }
 
     #[test]
@@ -322,9 +450,153 @@ mod tests {
             device_clocks: vec![],
             peak_mem: vec![10, 30, 20],
             timeline: vec![],
+            faults: vec![],
         };
         assert!((r.throughput(128) - 64.0).abs() < 1e-9);
         assert_eq!(r.max_peak_mem(), 30);
         assert_eq!(r.min_peak_mem(), 10);
+    }
+
+    #[test]
+    fn watchdog_scales_with_schedule_size_but_never_shrinks() {
+        let small = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 2, 2));
+        let cfg = EmulatorConfig::default();
+        // Small schedule: the configured floor dominates.
+        assert_eq!(effective_watchdog(&small, &cfg), cfg.watchdog);
+        // Huge schedule: the scaled value dominates, capped.
+        let big = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 8, 64));
+        let many = EmulatorConfig {
+            iterations: 200,
+            ..cfg
+        };
+        let w = effective_watchdog(&big, &many);
+        assert!(w > cfg.watchdog, "{w:?}");
+        assert!(w <= WATCHDOG_CAP);
+        // An explicit large floor is always respected.
+        let strict = EmulatorConfig {
+            watchdog: Duration::from_secs(120),
+            ..cfg
+        };
+        assert_eq!(effective_watchdog(&small, &strict), strict.watchdog);
+    }
+
+    #[test]
+    fn injected_crash_yields_structured_fault_not_hang() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let plan = FaultPlan::none().with(FaultKind::Crash {
+            device: DeviceId(2),
+            pc: 5,
+        });
+        let err = run_with_faults(&s, &unit(), fast(EmulatorConfig::default()), &plan).unwrap_err();
+        let report = err.fault_report().expect("fault attribution");
+        assert_eq!(report.device, DeviceId(2));
+        assert_eq!(report.pc, 5);
+        assert_eq!(report.fault, plan.faults[0]);
+    }
+
+    #[test]
+    fn injected_stall_is_attributed_to_the_receiver() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let plan = FaultPlan::none().with(FaultKind::LinkStall {
+            src: DeviceId(1),
+            dst: DeviceId(2),
+            nth: 0,
+        });
+        let err = run_with_faults(&s, &unit(), fast(EmulatorConfig::default()), &plan).unwrap_err();
+        let report = err.fault_report().expect("fault attribution");
+        assert_eq!(report.device, DeviceId(2));
+        assert_eq!(report.blocked_peer, Some(DeviceId(1)));
+        assert_eq!(report.fault, plan.faults[0]);
+    }
+
+    #[test]
+    fn absorbable_faults_complete_and_are_logged() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let clean = run(&s, &unit(), EmulatorConfig::default()).unwrap();
+        let plan = FaultPlan::none()
+            .with(FaultKind::Slowdown {
+                device: DeviceId(1),
+                factor: 10.0,
+                from_pc: 0,
+                until_pc: 8,
+            })
+            .with(FaultKind::LinkDelay {
+                src: DeviceId(0),
+                dst: DeviceId(1),
+                nth: 0,
+                extra_ns: 7_000,
+            });
+        let r = run_with_faults(&s, &unit(), EmulatorConfig::default(), &plan).unwrap();
+        assert_eq!(r.faults.len(), 2, "{:?}", r.faults);
+        assert!(r.total_ns > clean.total_ns);
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_plain_run() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::Chimera, 4, 8));
+        let a = run(&s, &unit(), EmulatorConfig::default()).unwrap();
+        let b = run_with_faults(&s, &unit(), EmulatorConfig::default(), &FaultPlan::none()).unwrap();
+        assert_eq!(a.device_clocks, b.device_clocks);
+        assert_eq!(a.peak_mem, b.peak_mem);
+        assert!(b.faults.is_empty());
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_fault_report() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        for seed in 0..16 {
+            let plan = FaultPlan::single_crash_or_stall(seed, &s);
+            let a = run_with_faults(&s, &unit(), fast(EmulatorConfig::default()), &plan);
+            let b = run_with_faults(&s, &unit(), fast(EmulatorConfig::default()), &plan);
+            let ra = a.unwrap_err();
+            let rb = b.unwrap_err();
+            assert_eq!(
+                ra.fault_report(),
+                rb.fault_report(),
+                "seed {seed}: reports must be identical"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_restarts_after_a_crash() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let plan = FaultPlan::none().with(FaultKind::Crash {
+            device: DeviceId(0),
+            pc: 2,
+        });
+        let rec = run_with_recovery(&s, &unit(), fast(EmulatorConfig::default()), &plan, 3)
+            .expect("recovers on restart");
+        assert_eq!(rec.attempts, 2);
+        assert_eq!(rec.fault_log.len(), 1);
+        assert_eq!(rec.fault_log[0].fault, plan.faults[0]);
+        let clean = run(&s, &unit(), EmulatorConfig::default()).unwrap();
+        assert_eq!(rec.report.device_clocks, clean.device_clocks);
+    }
+
+    #[test]
+    fn recovery_does_not_mask_real_oom() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::GPipe, 2, 8));
+        let cfg = EmulatorConfig {
+            mem_capacity: Some(4),
+            watchdog: Duration::from_millis(300),
+            ..Default::default()
+        };
+        let err = run_with_recovery(&s, &unit(), cfg, &FaultPlan::none(), 3).unwrap_err();
+        assert!(err.is_oom(), "{err}");
+    }
+
+    #[test]
+    fn memory_squeeze_surfaces_as_fault_not_oom() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::GPipe, 2, 8));
+        let plan = FaultPlan::none().with(FaultKind::MemSqueeze {
+            device: DeviceId(0),
+            capacity: 4,
+        });
+        let err = run_with_faults(&s, &unit(), fast(EmulatorConfig::default()), &plan).unwrap_err();
+        assert!(!err.is_oom());
+        let report = err.fault_report().expect("fault attribution");
+        assert_eq!(report.device, DeviceId(0));
+        assert_eq!(report.fault, plan.faults[0]);
     }
 }

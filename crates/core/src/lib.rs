@@ -35,7 +35,7 @@ pub use simulator::{
 };
 pub use trace::{emu_to_chrome_trace, sim_to_chrome_trace, to_chrome_trace, TraceEvent};
 pub use tuner::{
-    admissible, evaluate, tune, Candidate, Evaluation, SchemeChoice, TuneError, TuneResult,
-    TunerConfig,
+    admissible, evaluate, tune, Candidate, CandidateFailure, Evaluation, SchemeChoice, TuneError,
+    TuneResult, TunerConfig, MAX_VALIDATION_RUNS,
 };
 pub use viz::{render_ascii, render_svg, VizOptions};

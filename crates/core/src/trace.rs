@@ -77,7 +77,7 @@ pub fn to_chrome_trace<'a>(events: impl IntoIterator<Item = TraceEvent<'a>>) -> 
         out.push_str(&format!("{:.3}", e.start as f64 / 1e3));
         out.push_str(",\"dur\":");
         out.push_str(&format!("{:.3}", (e.end - e.start) as f64 / 1e3));
-        out.push_str("}");
+        out.push('}');
     }
     out.push_str("]}");
     out

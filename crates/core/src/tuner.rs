@@ -6,8 +6,8 @@
 //! milliseconds, against minutes per configuration on a real cluster.
 
 use crate::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
-use crate::simulator::{simulate_memory, simulate_timeline};
-use mario_ir::{SchemeKind, Topology};
+use crate::simulator::{simulate_memory, simulate_timeline, SimError};
+use mario_ir::{Schedule, SchemeKind, Topology};
 use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
 use mario_schedules::{generate, ScheduleConfig};
 use serde::{Deserialize, Serialize};
@@ -63,6 +63,10 @@ pub struct TunerConfig {
     /// Enable the simulator-guided prepose pass during evaluation (slower
     /// but matches the full Mario pipeline).
     pub prepose: bool,
+    /// Validate the winning candidate on the cluster emulator before
+    /// accepting it, falling back to the next-best candidate when
+    /// validation fails (at most [`MAX_VALIDATION_RUNS`] emulator runs).
+    pub validate_on_emulator: bool,
 }
 
 impl TunerConfig {
@@ -79,9 +83,16 @@ impl TunerConfig {
             channel_capacity: 1,
             dp_efficiency: 0.97,
             prepose: true,
+            validate_on_emulator: false,
         }
     }
 }
+
+/// Upper bound on emulator runs [`tune`] spends validating candidates when
+/// [`TunerConfig::validate_on_emulator`] is set. If every validated
+/// candidate fails, the search degrades gracefully to the best remaining
+/// unvalidated one instead of aborting.
+pub const MAX_VALIDATION_RUNS: usize = 8;
 
 /// One point of the search grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,6 +124,40 @@ impl std::fmt::Display for Candidate {
     }
 }
 
+/// Why a candidate was rejected. Failed candidates stay on the search
+/// curve with their cause recorded, instead of silently vanishing (or,
+/// worse, aborting the whole search).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CandidateFailure {
+    /// Peak memory exceeds the device budget (the Eq. 1 penalty).
+    Oom {
+        /// Worst per-device peak, bytes.
+        peak: u64,
+        /// The budget it exceeds, bytes.
+        capacity: u64,
+    },
+    /// The DP simulator found a deadlock under blocking p2p.
+    SimDeadlock(String),
+    /// The DP simulator saw mis-paired communication.
+    SimMismatch(String),
+    /// Emulator validation failed (only with
+    /// [`TunerConfig::validate_on_emulator`]).
+    Emulation(String),
+}
+
+impl std::fmt::Display for CandidateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CandidateFailure::Oom { peak, capacity } => {
+                write!(f, "OOM: peak {peak} B over budget {capacity} B")
+            }
+            CandidateFailure::SimDeadlock(s) => write!(f, "{s}"),
+            CandidateFailure::SimMismatch(s) => write!(f, "{s}"),
+            CandidateFailure::Emulation(s) => write!(f, "emulator validation failed: {s}"),
+        }
+    }
+}
+
 /// A simulated evaluation of one candidate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Evaluation {
@@ -127,6 +172,15 @@ pub struct Evaluation {
     pub peak_mem: (u64, u64),
     /// Whether the candidate exceeds the memory budget.
     pub oom: bool,
+    /// Why the candidate is infeasible, when it is.
+    pub failure: Option<CandidateFailure>,
+}
+
+impl Evaluation {
+    /// True when the candidate is usable (no recorded failure).
+    pub fn feasible(&self) -> bool {
+        self.failure.is_none()
+    }
 }
 
 /// The outcome of a grid search.
@@ -136,6 +190,9 @@ pub struct TuneResult {
     pub best: Evaluation,
     /// Every evaluation, in search order (the Fig. 11 curve).
     pub curve: Vec<Evaluation>,
+    /// Candidates that looked best but failed emulator validation, with
+    /// the cause (empty unless [`TunerConfig::validate_on_emulator`]).
+    pub rejected: Vec<(Candidate, CandidateFailure)>,
     /// Wall-clock time of the search.
     pub tuning_time: Duration,
 }
@@ -178,7 +235,7 @@ pub fn admissible(model: &ModelConfig, cand: &Candidate, gbs: u32) -> Option<u32
         return None;
     }
     let denom = cand.dp * cand.mbs;
-    if gbs % denom != 0 {
+    if !gbs.is_multiple_of(denom) {
         return None;
     }
     let micros = gbs / denom;
@@ -186,15 +243,11 @@ pub fn admissible(model: &ModelConfig, cand: &Candidate, gbs: u32) -> Option<u32
         return None;
     }
     match cand.scheme {
-        SchemeKind::Chimera => {
-            if cand.pp % 2 != 0 || micros % 2 != 0 {
-                return None;
-            }
+        SchemeKind::Chimera if !cand.pp.is_multiple_of(2) || !micros.is_multiple_of(2) => {
+            return None;
         }
-        SchemeKind::Interleave { .. } => {
-            if micros % cand.pp != 0 {
-                return None;
-            }
+        SchemeKind::Interleave { .. } if !micros.is_multiple_of(cand.pp) => {
+            return None;
         }
         _ => {}
     }
@@ -205,15 +258,17 @@ pub fn admissible(model: &ModelConfig, cand: &Candidate, gbs: u32) -> Option<u32
     Some(micros)
 }
 
-/// Simulates one candidate end to end. Returns `None` when the candidate is
-/// structurally inadmissible.
-pub fn evaluate(
+/// Builds the (optionally graph-tuned) schedule and cost model for an
+/// admissible candidate — the single construction path shared by
+/// simulation-based evaluation and emulator validation, so both judge the
+/// exact same schedule.
+fn build_schedule(
     model: &ModelConfig,
     gpu: &GpuSpec,
     cfg: &TunerConfig,
     cand: Candidate,
-) -> Option<Evaluation> {
-    let micros = admissible(model, &cand, cfg.gbs)?;
+    micros: u32,
+) -> (Schedule, AnalyticCost) {
     let cap = cfg.channel_capacity.max(scheme_channel_capacity(cand.scheme));
     let topo = topology_of(cand.scheme, cand.pp);
     let setup = TrainSetup::pipeline(model.clone(), gpu.clone(), topo, cand.mbs)
@@ -234,21 +289,55 @@ pub fn evaluate(
         };
         run_graph_tuner(&mut schedule, &cost, opts);
     }
+    (schedule, cost)
+}
+
+/// Simulates one candidate end to end. Returns `None` when the candidate is
+/// structurally inadmissible; candidates that OOM or fail in simulation
+/// return an [`Evaluation`] with the failure recorded, so the search curve
+/// keeps every grid point and the tuner can degrade gracefully instead of
+/// dropping causes on the floor.
+pub fn evaluate(
+    model: &ModelConfig,
+    gpu: &GpuSpec,
+    cfg: &TunerConfig,
+    cand: Candidate,
+) -> Option<Evaluation> {
+    let micros = admissible(model, &cand, cfg.gbs)?;
+    let cap = cfg.channel_capacity.max(scheme_channel_capacity(cand.scheme));
+    let (schedule, cost) = build_schedule(model, gpu, cfg, cand, micros);
     let mem = simulate_memory(&schedule, &cost, Some(cfg.mem_capacity));
     let oom = !mem.fits(cfg.mem_capacity);
-    let timeline = simulate_timeline(&schedule, &cost, cap).ok()?;
+    let peak_mem = (mem.min_peak(), mem.max_peak());
+    let (iter_ns, sim_failure) = match simulate_timeline(&schedule, &cost, cap) {
+        Ok(timeline) => (timeline.total_ns, None),
+        Err(SimError::Deadlock(s)) => (0, Some(CandidateFailure::SimDeadlock(s))),
+        Err(SimError::Mismatch(s)) => (0, Some(CandidateFailure::SimMismatch(s))),
+    };
+    // OOM is the primary Eq. 1 penalty; a simulation failure is reported
+    // when memory fits.
+    let failure = if oom {
+        Some(CandidateFailure::Oom {
+            peak: peak_mem.1,
+            capacity: cfg.mem_capacity,
+        })
+    } else {
+        sim_failure
+    };
     let eff = cfg.dp_efficiency.powf((cand.dp as f64).log2());
-    let throughput = if oom {
+    let throughput = if failure.is_some() || iter_ns == 0 {
         0.0
     } else {
-        timeline.throughput(cfg.gbs as u64) * eff
+        let samples = cfg.gbs as u64;
+        (samples as f64 / (iter_ns as f64 / 1e9)) * eff
     };
     Some(Evaluation {
         candidate: cand,
         throughput,
-        iter_ns: timeline.total_ns,
-        peak_mem: (mem.min_peak(), mem.max_peak()),
+        iter_ns,
+        peak_mem,
         oom,
+        failure,
     })
 }
 
@@ -258,7 +347,7 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
     let mut curve = Vec::new();
     for scheme in cfg.scheme_choice.schemes() {
         for pp in 1..=cfg.total_devices {
-            if pp < cfg.min_pp || cfg.total_devices % pp != 0 {
+            if pp < cfg.min_pp || !cfg.total_devices.is_multiple_of(pp) {
                 continue;
             }
             let dp = cfg.total_devices / pp;
@@ -278,17 +367,59 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
             }
         }
     }
-    let best = curve
-        .iter()
-        .filter(|e| !e.oom)
-        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
-        .cloned()
-        .ok_or(TuneError::NoFeasibleConfig)?;
+    // Rank feasible candidates best-first. With emulator validation on,
+    // walk down the ranking: a candidate the emulator rejects (a schedule
+    // the simulator mis-judged) is recorded with its cause and the search
+    // degrades to the next-best instead of aborting. Validation effort is
+    // bounded; past the bound the next-best candidate is accepted as-is.
+    let mut ranked: Vec<&Evaluation> = curve.iter().filter(|e| e.feasible()).collect();
+    ranked.sort_by(|a, b| b.throughput.total_cmp(&a.throughput));
+    let mut rejected = Vec::new();
+    let mut best = None;
+    for (runs, eval) in ranked.iter().enumerate() {
+        if !cfg.validate_on_emulator || runs >= MAX_VALIDATION_RUNS {
+            best = Some((*eval).clone());
+            break;
+        }
+        match validate_candidate(model, gpu, cfg, eval.candidate) {
+            Ok(()) => {
+                best = Some((*eval).clone());
+                break;
+            }
+            Err(cause) => rejected.push((eval.candidate, cause)),
+        }
+    }
+    let best = best.ok_or(TuneError::NoFeasibleConfig)?;
     Ok(TuneResult {
         best,
         curve,
+        rejected,
         tuning_time: started.elapsed(),
     })
+}
+
+/// Replays one candidate's exact schedule on the cluster emulator (real
+/// threads, blocking p2p, memory ledger) and reports the structured cause
+/// when the run fails.
+fn validate_candidate(
+    model: &ModelConfig,
+    gpu: &GpuSpec,
+    cfg: &TunerConfig,
+    cand: Candidate,
+) -> Result<(), CandidateFailure> {
+    let micros = admissible(model, &cand, cfg.gbs)
+        .ok_or_else(|| CandidateFailure::Emulation("candidate became inadmissible".into()))?;
+    let cap = cfg.channel_capacity.max(scheme_channel_capacity(cand.scheme));
+    let (schedule, cost) = build_schedule(model, gpu, cfg, cand, micros);
+    let emu_cfg = mario_cluster::EmulatorConfig {
+        channel_capacity: cap,
+        mem_capacity: Some(cfg.mem_capacity),
+        ..Default::default()
+    };
+    match mario_cluster::run(&schedule, &cost, emu_cfg) {
+        Ok(_) => Ok(()),
+        Err(e) => Err(CandidateFailure::Emulation(e.to_string())),
+    }
 }
 
 #[cfg(test)]
@@ -426,5 +557,55 @@ mod tests {
         assert!(base.oom, "base should OOM: {:?}", base.peak_mem);
         assert!(!mario.oom, "mario should fit: {:?}", mario.peak_mem);
         assert!(mario.throughput > 0.0);
+        // The cause is recorded, not just the flag.
+        assert!(
+            matches!(base.failure, Some(CandidateFailure::Oom { .. })),
+            "{:?}",
+            base.failure
+        );
+        assert!(mario.feasible());
+    }
+
+    #[test]
+    fn infeasible_candidates_keep_their_cause_on_the_curve() {
+        let cfg = TunerConfig {
+            mem_capacity: 1 << 30, // 1 GB: everything OOMs
+            ..small_cfg()
+        };
+        let mut curve = Vec::new();
+        for scheme in cfg.scheme_choice.schemes() {
+            for &mbs in &cfg.mbs_options {
+                let cand = Candidate {
+                    scheme,
+                    pp: 8,
+                    dp: 1,
+                    mbs,
+                    mario: false,
+                };
+                if let Some(e) = evaluate(&ModelConfig::gpt3_13b(), &GpuSpec::a100_40g(), &cfg, cand)
+                {
+                    curve.push(e);
+                }
+            }
+        }
+        assert!(!curve.is_empty());
+        for e in &curve {
+            assert!(!e.feasible());
+            assert!(e.failure.is_some(), "cause must be recorded: {:?}", e.candidate);
+            assert_eq!(e.throughput, 0.0);
+        }
+    }
+
+    #[test]
+    fn emulator_validation_accepts_a_sound_best_candidate() {
+        let cfg = TunerConfig {
+            validate_on_emulator: true,
+            ..small_cfg()
+        };
+        let r = tune(&ModelConfig::gpt3_1_6b(), &GpuSpec::a100_40g(), &cfg).unwrap();
+        // The simulator and emulator agree on these schedules, so the top
+        // candidate validates first try and nothing is rejected.
+        assert!(r.rejected.is_empty(), "{:?}", r.rejected);
+        assert!(r.best.throughput > 0.0);
     }
 }

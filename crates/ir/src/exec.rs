@@ -127,9 +127,9 @@ pub fn check_executable(schedule: &Schedule, channel_capacity: usize) -> Result<
             })
             .count();
 
-        for d in 0..devices {
+        for (d, pc_d) in pc.iter_mut().enumerate() {
             let prog = &schedule.programs()[d];
-            let Some(instr) = prog.get(pc[d]) else {
+            let Some(instr) = prog.get(*pc_d) else {
                 continue;
             };
             all_done = false;
@@ -167,7 +167,7 @@ pub fn check_executable(schedule: &Schedule, channel_capacity: usize) -> Result<
                             } else {
                                 return Err(ExecError::MessageMismatch {
                                     device: dev,
-                                    pc: pc[d],
+                                    pc: *pc_d,
                                     expected: want,
                                     found: head,
                                 });
@@ -178,7 +178,7 @@ pub fn check_executable(schedule: &Schedule, channel_capacity: usize) -> Result<
                 }
             };
             if can_fire {
-                pc[d] += 1;
+                *pc_d += 1;
                 fired = true;
                 fired_total += 1;
             }

@@ -167,16 +167,8 @@ impl DeviceProgram {
         for i in &self.instrs {
             match i.kind {
                 InstrKind::Forward { ckpt: false } => live += 1,
-                InstrKind::Forward { ckpt: true } => {
-                    if count_ckpt {
-                        live += 1;
-                    }
-                }
-                InstrKind::Recompute => {
-                    if !count_ckpt {
-                        recomputed += 1;
-                    }
-                }
+                InstrKind::Forward { ckpt: true } if count_ckpt => live += 1,
+                InstrKind::Recompute if !count_ckpt => recomputed += 1,
                 InstrKind::Backward | InstrKind::BackwardInput => {
                     let total = live + recomputed;
                     if total > 0 {
@@ -184,8 +176,8 @@ impl DeviceProgram {
                         // since its activations are the freshest.
                         if recomputed > 0 {
                             recomputed -= 1;
-                        } else if live > 0 {
-                            live -= 1;
+                        } else {
+                            live = live.saturating_sub(1);
                         }
                     }
                 }

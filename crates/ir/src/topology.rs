@@ -91,7 +91,7 @@ impl Topology {
         assert!(devices > 0, "pipeline needs at least one device");
         if matches!(scheme, SchemeKind::Chimera) {
             assert!(
-                devices % 2 == 0,
+                devices.is_multiple_of(2),
                 "Chimera requires an even number of devices, got {devices}"
             );
         }
@@ -154,7 +154,7 @@ impl Topology {
             }
             SchemeKind::Interleave { .. } => StageId(p * dd + d),
             SchemeKind::Wave { .. } => {
-                if p % 2 == 0 {
+                if p.is_multiple_of(2) {
                     StageId(p * dd + d)
                 } else {
                     StageId(p * dd + (dd - 1 - d))
@@ -183,7 +183,7 @@ impl Topology {
                 .collect(),
             SchemeKind::Wave { chunks } => (0..chunks)
                 .flat_map(|p| {
-                    let fwd: Box<dyn Iterator<Item = u32>> = if p % 2 == 0 {
+                    let fwd: Box<dyn Iterator<Item = u32>> = if p.is_multiple_of(2) {
                         Box::new(0..dd)
                     } else {
                         Box::new((0..dd).rev())
@@ -226,7 +226,7 @@ impl Topology {
                 }
             }
             SchemeKind::Wave { chunks } => {
-                let forward_dir = p % 2 == 0;
+                let forward_dir = p.is_multiple_of(2);
                 let at_edge = if forward_dir { d + 1 == dd } else { d == 0 };
                 if !at_edge {
                     let nd = if forward_dir { d + 1 } else { d - 1 };
@@ -268,7 +268,7 @@ impl Topology {
                 }
             }
             SchemeKind::Wave { .. } => {
-                let forward_dir = p % 2 == 0;
+                let forward_dir = p.is_multiple_of(2);
                 let at_edge = if forward_dir { d == 0 } else { d + 1 == dd };
                 if !at_edge {
                     let pd = if forward_dir { d - 1 } else { d + 1 };

@@ -509,7 +509,6 @@ fn find_p2p(
 ) -> Option<(usize, &Instr)> {
     prog.iter()
         .find(|(_, i)| i.kind.tag() == tag && i.micro == micro && i.part == part)
-        .map(|(pos, i)| (pos, i))
 }
 
 #[cfg(test)]

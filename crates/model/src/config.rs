@@ -157,7 +157,7 @@ impl ParallelConfig {
     pub fn micros(&self) -> u32 {
         let denom = self.dp * self.mbs;
         assert!(
-            self.gbs % denom == 0,
+            self.gbs.is_multiple_of(denom),
             "global batch {} not divisible by dp*mbs = {}",
             self.gbs,
             denom

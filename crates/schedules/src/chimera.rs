@@ -26,8 +26,8 @@ pub fn routes(micros: u32) -> Vec<u32> {
 /// If `devices` is odd or `micros` is odd (each direction needs an equal
 /// share).
 pub fn generate_compute(devices: u32, micros: u32) -> Schedule {
-    assert!(devices % 2 == 0, "Chimera requires even device count");
-    assert!(micros % 2 == 0, "Chimera requires even micro-batch count");
+    assert!(devices.is_multiple_of(2), "Chimera requires even device count");
+    assert!(micros.is_multiple_of(2), "Chimera requires even micro-batch count");
     let topo = Topology::new(SchemeKind::Chimera, devices);
     derive_schedule(topo, micros, routes(micros), &EnginePolicy::chimera(devices))
 }

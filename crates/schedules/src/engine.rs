@@ -157,10 +157,13 @@ pub fn derive_schedule(
     let total_items: usize = (0..micros).map(|m| 2 * path_len(m) as usize).sum();
     let mut done = 0usize;
 
+    // (start time, is-forward, micro, hop): lower sorts first, so ties
+    // prefer backwards, then lower micros, then lower hops.
+    type FireKey = (u64, bool, u32, u32);
+
     while done < total_items {
-        // Pick the (device, item) pair with the globally smallest start
-        // time; prefer backwards, then lower micros, then lower hops.
-        let mut best: Option<(usize, usize, (u64, bool, u32, u32))> = None;
+        // Pick the (device, item) pair with the globally smallest start time.
+        let mut best: Option<(usize, usize, FireKey)> = None;
         for d in 0..devices {
             for (idx, &it) in ready[d].iter().enumerate() {
                 let start = clocks[d].max(ready_time[&it]);

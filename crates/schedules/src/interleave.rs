@@ -37,7 +37,7 @@ fn backward_slot(k: u32, devices: u32, chunks: u32) -> (u32, u32) {
 pub fn generate_compute(devices: u32, micros: u32, chunks: u32) -> Schedule {
     assert!(chunks > 0, "interleave needs at least one chunk");
     assert!(
-        micros % devices == 0,
+        micros.is_multiple_of(devices),
         "interleaved schedule requires micros ({micros}) to be a multiple of devices ({devices})"
     );
     let topo = Topology::new(SchemeKind::Interleave { chunks }, devices);

@@ -145,10 +145,10 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     if devices == 0 || micros == 0 {
         return Err("--devices and --micros must be at least 1".into());
     }
-    if matches!(scheme, SchemeKind::Chimera) && (devices % 2 != 0 || micros % 2 != 0) {
+    if matches!(scheme, SchemeKind::Chimera) && (!devices.is_multiple_of(2) || !micros.is_multiple_of(2)) {
         return Err("Chimera (X) needs even --devices and even --micros".into());
     }
-    if matches!(scheme, SchemeKind::Interleave { .. }) && micros % devices != 0 {
+    if matches!(scheme, SchemeKind::Interleave { .. }) && !micros.is_multiple_of(devices) {
         return Err("Interleave (W) needs --micros divisible by --devices".into());
     }
     let mut s = generate(ScheduleConfig::new(scheme, devices, micros));

@@ -183,6 +183,56 @@ proptest! {
     }
 }
 
+// Fault injection: a seeded hard fault (device crash or link stall) on any
+// scheme always terminates the run with a structured report naming the
+// injected fault — never a hang, never a panic — and the same seed
+// reproduces the identical report.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn injected_hard_faults_terminate_with_attribution(
+        (scheme, d, n) in scheme_config(),
+        seed in 0u64..1024,
+    ) {
+        use mario::cluster::FaultPlan;
+
+        let s = generate(ScheduleConfig::new(scheme, d, n));
+        let cost = UnitCost::paper_grid();
+        let cfg = EmulatorConfig {
+            channel_capacity: cap_of(scheme),
+            watchdog: std::time::Duration::from_millis(300),
+            ..Default::default()
+        };
+        let plan = FaultPlan::single_crash_or_stall(seed, &s);
+        let injected = plan.faults[0];
+        let first = mario::cluster::run_with_faults(&s, &cost, cfg, &plan);
+        let err = match first {
+            Err(e) => e,
+            Ok(_) => return Err(format!(
+                "hard fault {injected} absorbed on {scheme:?} D={d} N={n}"
+            )),
+        };
+        let report = match err.fault_report() {
+            Some(r) => r.clone(),
+            None => return Err(format!(
+                "unattributed error {err} for {injected} on {scheme:?} D={d} N={n}"
+            )),
+        };
+        prop_assert_eq!(report.fault, injected);
+
+        // Reproducibility: the same seeded plan yields the identical report.
+        let again = mario::cluster::run_with_faults(&s, &cost, cfg, &plan);
+        let err2 = again.expect_err("same plan, same failure");
+        prop_assert_eq!(Some(&report), err2.fault_report());
+
+        // And the fault layer stays inert without a plan: the same config
+        // runs clean.
+        let clean = mario::cluster::run_with_faults(&s, &cost, cfg, &FaultPlan::none());
+        prop_assert!(clean.is_ok(), "{:?}", clean.err());
+    }
+}
+
 // Linear-estimator fits recover arbitrary lines through noisy samples.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
