@@ -1,8 +1,9 @@
 //! Chaos sweep: seeded single-fault injection across V/X/W. Exits
 //! non-zero if any scenario violates the terminate-attribute-reproduce
-//! invariant.
+//! invariant. Pass `--smoke` for a single-seed CI run.
 fn main() {
-    let rows = mario_bench::experiments::chaos::run(16);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = mario_bench::experiments::chaos::run(if smoke { 1 } else { 16 });
     println!("{}", mario_bench::experiments::chaos::render(&rows));
     if rows.iter().any(|r| !r.ok) {
         std::process::exit(1);

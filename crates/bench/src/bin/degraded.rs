@@ -1,0 +1,14 @@
+//! Degraded-mode prediction sweep: simulator vs. emulator under
+//! straggler faults across V/X/W. Exits non-zero if any scenario's
+//! prediction diverges from the zero-jitter emulation. Pass `--smoke`
+//! for a single-scenario CI run.
+fn main() {
+    use mario_bench::experiments::degraded;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let factors: &[f64] = if smoke { &[4.0] } else { &degraded::FULL_FACTORS };
+    let rows = degraded::run_sweep(factors);
+    println!("{}", degraded::render(&rows));
+    if rows.iter().any(|r| !r.ok) {
+        std::process::exit(1);
+    }
+}

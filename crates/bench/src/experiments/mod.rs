@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod degraded;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

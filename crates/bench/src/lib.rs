@@ -17,6 +17,7 @@
 //! | `fig11` | Fig. 11 — 64-GPU tuning curve |
 //! | `ablation` | §7.1 partition ramp + per-pass ablation |
 //! | `chaos` | (robustness, not in paper) seeded single-fault injection sweep |
+//! | `degraded` | (robustness, not in paper) degraded-mode prediction: simulator vs. emulator under stragglers |
 
 #![warn(missing_docs)]
 

@@ -9,7 +9,9 @@
 //! a link stalls, or memory headroom shrinks?" — and guarantees the answer
 //! is a terminating run with a [`FaultReport`], never a hang or a panic.
 
-use mario_ir::{DeviceId, InstrKind, Nanos, Schedule};
+use mario_ir::{
+    DeviceId, InstrKind, LinkSlack, Nanos, PerturbationProfile, Schedule, SlowdownWindow,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -161,6 +163,82 @@ impl FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed);
         let kind = if rng.gen_bool(0.5) { 1 } else { 3 };
         Self::default().with(draw_fault(&mut rng, schedule, kind))
+    }
+
+    /// Draws a random absorbable plan (a slowdown or a finite link
+    /// delay — the faults a run completes through). Deterministic in
+    /// `seed`.
+    pub fn single_absorbable(seed: u64, schedule: &Schedule) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kind = if rng.gen_bool(0.5) { 0 } else { 2 };
+        let fault = draw_fault(&mut rng, schedule, kind);
+        // A communication-free schedule degrades `kind 2` to a crash;
+        // fall back to a slowdown so the plan stays absorbable.
+        if fault.is_absorbable() {
+            Self::default().with(fault)
+        } else {
+            Self::default().with(draw_fault(&mut rng, schedule, 0))
+        }
+    }
+
+    /// True when every fault in the plan is absorbable (the run completes
+    /// and logs them instead of failing).
+    pub fn is_absorbable(&self) -> bool {
+        self.faults.iter().all(FaultKind::is_absorbable)
+    }
+
+    /// The [`PerturbationProfile`] this plan imposes on the cluster — the
+    /// contract that lets the DP simulator predict a faulted emulator run.
+    ///
+    /// Only absorbable faults (slowdowns, finite link delays) translate;
+    /// hard faults (crashes, stalls, squeezes) have no timing-only
+    /// equivalent and are skipped — call [`FaultPlan::is_absorbable`]
+    /// first when exact agreement is required. Duplicate link delays on
+    /// the same `(src, dst, nth)` packet keep only the first, matching
+    /// the emulator's first-match enforcement. The profile describes the
+    /// plan's fault iteration; the simulator models a single iteration,
+    /// so agreement holds for single-iteration runs with `iteration == 0`.
+    pub fn perturbation_profile(&self) -> PerturbationProfile {
+        let mut profile = PerturbationProfile::identity();
+        for &fault in &self.faults {
+            match fault {
+                FaultKind::Slowdown {
+                    device,
+                    factor,
+                    from_pc,
+                    until_pc,
+                } => {
+                    profile.slowdowns.push(SlowdownWindow {
+                        device,
+                        factor,
+                        from_pc,
+                        until_pc,
+                    });
+                }
+                FaultKind::LinkDelay {
+                    src,
+                    dst,
+                    nth,
+                    extra_ns,
+                } => {
+                    let dup = profile.link_slack.iter().any(|s| {
+                        s.src == src && s.dst == dst && s.nth == Some(nth)
+                    });
+                    if !dup {
+                        profile.link_slack.push(LinkSlack {
+                            src,
+                            dst,
+                            nth: Some(nth),
+                            extra_ns,
+                        });
+                    }
+                }
+                FaultKind::Crash { .. }
+                | FaultKind::LinkStall { .. }
+                | FaultKind::MemSqueeze { .. } => {}
+            }
+        }
+        profile
     }
 
     /// The slice of this plan one device must enforce.
@@ -463,6 +541,80 @@ mod tests {
         assert_eq!(df.slow_factor(0, 5), 1.0);
         // Wrong iteration: inactive.
         assert_eq!(df.slow_factor(1, 2), 1.0);
+    }
+
+    #[test]
+    fn absorbable_plans_translate_to_profiles() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::Slowdown {
+                device: DeviceId(1),
+                factor: 10.0,
+                from_pc: 2,
+                until_pc: 5,
+            })
+            .with(FaultKind::LinkDelay {
+                src: DeviceId(0),
+                dst: DeviceId(1),
+                nth: 3,
+                extra_ns: 7_000,
+            });
+        assert!(plan.is_absorbable());
+        let p = plan.perturbation_profile();
+        assert_eq!(p.compute_factor(DeviceId(1), 3), 10.0);
+        assert_eq!(p.compute_factor(DeviceId(1), 5), 1.0);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 3), 7_000);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 2), 0);
+    }
+
+    #[test]
+    fn hard_faults_do_not_translate() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::Crash {
+                device: DeviceId(0),
+                pc: 1,
+            })
+            .with(FaultKind::LinkStall {
+                src: DeviceId(0),
+                dst: DeviceId(1),
+                nth: 0,
+            })
+            .with(FaultKind::MemSqueeze {
+                device: DeviceId(1),
+                capacity: 64,
+            });
+        assert!(!plan.is_absorbable());
+        assert!(plan.perturbation_profile().is_identity());
+    }
+
+    #[test]
+    fn duplicate_link_delays_keep_the_first() {
+        // The emulator enforces the first matching fault on a packet; the
+        // derived profile must not double-charge it.
+        let plan = FaultPlan::none()
+            .with(FaultKind::LinkDelay {
+                src: DeviceId(0),
+                dst: DeviceId(1),
+                nth: 0,
+                extra_ns: 5_000,
+            })
+            .with(FaultKind::LinkDelay {
+                src: DeviceId(0),
+                dst: DeviceId(1),
+                nth: 0,
+                extra_ns: 9_000,
+            });
+        let p = plan.perturbation_profile();
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0), 5_000);
+    }
+
+    #[test]
+    fn single_absorbable_is_always_absorbable() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        for seed in 0..64 {
+            let p = FaultPlan::single_absorbable(seed, &s);
+            assert!(p.is_absorbable(), "seed {seed}: {:?}", p.faults);
+            assert_eq!(p, FaultPlan::single_absorbable(seed, &s));
+        }
     }
 
     #[test]

@@ -266,6 +266,11 @@ pub struct RecoveredRun {
     pub attempts: u32,
     /// Structured reports of every fault that killed an attempt.
     pub fault_log: Vec<FaultReport>,
+    /// Virtual time of the whole recovery, ns: the successful run plus the
+    /// time each failed attempt burned before its fault surfaced (restart-
+    /// from-zero replays everything). `report.total_ns` alone under-reports
+    /// recovery cost by exactly that wasted work.
+    pub total_ns_with_replay: Nanos,
 }
 
 /// Runs `schedule` under `plan`, restarting after each injected-fault
@@ -281,18 +286,22 @@ pub fn run_with_recovery(
     plan: &FaultPlan,
     max_restarts: u32,
 ) -> Result<RecoveredRun, EmuError> {
-    let mut fault_log = Vec::new();
+    let mut fault_log: Vec<FaultReport> = Vec::new();
     let mut attempts = 0;
     let mut active = plan.clone();
     loop {
         attempts += 1;
         match run_with_faults(schedule, cost, cfg, &active) {
             Ok(report) => {
+                // Each failed attempt ran up to its fault's virtual time
+                // before being thrown away; charge that replay cost.
+                let wasted: Nanos = fault_log.iter().map(|r| r.vtime).sum();
                 return Ok(RecoveredRun {
+                    total_ns_with_replay: report.total_ns + wasted,
                     report,
                     attempts,
                     fault_log,
-                })
+                });
             }
             Err(EmuError::Fault(report)) if attempts <= max_restarts => {
                 fault_log.push(report);
@@ -572,6 +581,27 @@ mod tests {
         assert_eq!(rec.fault_log[0].fault, plan.faults[0]);
         let clean = run(&s, &unit(), EmulatorConfig::default()).unwrap();
         assert_eq!(rec.report.device_clocks, clean.device_clocks);
+        // The failed first attempt's work is charged, not discarded.
+        assert_eq!(
+            rec.total_ns_with_replay,
+            rec.report.total_ns + rec.fault_log[0].vtime
+        );
+        assert!(rec.total_ns_with_replay > rec.report.total_ns);
+    }
+
+    #[test]
+    fn clean_recovery_charges_no_replay() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let rec = run_with_recovery(
+            &s,
+            &unit(),
+            fast(EmulatorConfig::default()),
+            &FaultPlan::none(),
+            3,
+        )
+        .expect("clean run");
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.total_ns_with_replay, rec.report.total_ns);
     }
 
     #[test]

@@ -10,9 +10,17 @@
 //! two produce identical timelines, and the simulator-accuracy experiment
 //! (Fig. 10) isolates genuine modeling error (profiling regression,
 //! jitter).
+//!
+//! [`simulate_timeline_with`] extends the alignment to *degraded*
+//! clusters: a [`PerturbationProfile`] (stragglers, slow links) scales
+//! every instruction's duration and every packet's departure time exactly
+//! as the emulator's fault layer enforces the corresponding absorbable
+//! fault plan, so a zero-jitter faulted run and a degraded
+//! simulation still agree bit for bit — the property that lets
+//! the tuner predict a straggler's impact without paying an emulator run.
 
 use mario_ir::exec::MsgClass;
-use mario_ir::{CostModel, DeviceId, InstrKind, Nanos, Schedule};
+use mario_ir::{CostModel, DeviceId, InstrKind, Nanos, PerturbationProfile, Schedule};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
@@ -108,17 +116,36 @@ struct Channel {
 }
 
 /// Simulates `schedule` under `cost` with per-class FIFO channels of
-/// `channel_capacity`.
+/// `channel_capacity`, assuming a pristine cluster.
 pub fn simulate_timeline(
     schedule: &Schedule,
     cost: &dyn CostModel,
     channel_capacity: usize,
+) -> Result<SimTimeline, SimError> {
+    simulate_timeline_with(schedule, cost, channel_capacity, &PerturbationProfile::identity())
+}
+
+/// Simulates `schedule` on a *degraded* cluster described by `profile`:
+/// compute instructions on straggling devices are scaled by their
+/// slowdown windows (indexed by instruction pc, like the emulator's
+/// `Slowdown` faults) and perturbed packets depart late by the link's
+/// extra latency while the sender's clock is unaffected (the emulator's
+/// `LinkDelay` semantics). With the identity profile this is exactly
+/// [`simulate_timeline`].
+pub fn simulate_timeline_with(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    channel_capacity: usize,
+    profile: &PerturbationProfile,
 ) -> Result<SimTimeline, SimError> {
     assert!(channel_capacity >= 1);
     let devices = schedule.devices() as usize;
     let mut pc = vec![0usize; devices];
     let mut clocks = vec![0u64; devices];
     let mut chans: HashMap<(u32, u32, MsgClass, u32), Channel> = HashMap::new();
+    // Packets sent per (src, dst) pair so far, all classes and parts in
+    // program order — the emulator's link-fault packet numbering.
+    let mut sends_to: Vec<HashMap<u32, usize>> = vec![HashMap::new(); devices];
     let mut events: Vec<SimEvent> = Vec::with_capacity(schedule.total_instrs());
 
     let class_of = |k: &InstrKind| match k {
@@ -143,7 +170,7 @@ pub fn simulate_timeline(
                 | InstrKind::BackwardInput
                 | InstrKind::BackwardWeight
                 | InstrKind::Recompute => {
-                    clocks[d] += cost.duration(dev, &instr);
+                    clocks[d] += profile.scaled_compute(dev, pc[d], cost.duration(dev, &instr));
                     true
                 }
                 InstrKind::AllReduce => {
@@ -176,7 +203,17 @@ pub fn simulate_timeline(
                         micro: instr.micro.0,
                         part: instr.part.0,
                     };
-                    ch.queue.push_back((id, clocks[d]));
+                    // A perturbed link delays the packet's departure while
+                    // the sender's own clock is unaffected, exactly like
+                    // the emulator's delayed send.
+                    let nth = {
+                        let c = sends_to[d].entry(peer.0).or_insert(0);
+                        let n = *c;
+                        *c += 1;
+                        n
+                    };
+                    let extra = profile.link_extra(dev, peer, nth);
+                    ch.queue.push_back((id, clocks[d] + extra));
                     ch.outstanding += 1;
                     true
                 }
@@ -286,5 +323,81 @@ mod tests {
         let s = generate(ScheduleConfig::new(SchemeKind::Chimera, 4, 8));
         let t = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
         assert_eq!(t.events.len(), s.total_instrs());
+    }
+
+    #[test]
+    fn identity_profile_is_bit_identical_to_baseline() {
+        for scheme in [SchemeKind::OneFOneB, SchemeKind::Chimera] {
+            let s = generate(ScheduleConfig::new(scheme, 4, 8));
+            let base = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+            let degr = simulate_timeline_with(
+                &s,
+                &UnitCost::paper_grid(),
+                1,
+                &PerturbationProfile::identity(),
+            )
+            .unwrap();
+            assert_eq!(base.device_clocks, degr.device_clocks, "{scheme:?}");
+            assert_eq!(base.total_ns, degr.total_ns, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn straggler_stretches_the_pipeline() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        let base = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+        let profile = PerturbationProfile::identity().with_straggler(DeviceId(0), 2.0);
+        let degr =
+            simulate_timeline_with(&s, &UnitCost::paper_grid(), 1, &profile).unwrap();
+        // The straggling first stage gates the whole pipeline: the
+        // degraded makespan must grow, and every device finishes no
+        // earlier than in the pristine run.
+        assert!(degr.total_ns > base.total_ns);
+        for (b, d) in base.device_clocks.iter().zip(&degr.device_clocks) {
+            assert!(d >= b);
+        }
+    }
+
+    #[test]
+    fn slow_link_shifts_downstream_arrivals() {
+        // Unit grid has free comm; give the perturbed link real latency.
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        let base = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+        let profile = PerturbationProfile::identity().with_link_slack(mario_ir::LinkSlack {
+            src: DeviceId(0),
+            dst: DeviceId(1),
+            nth: None,
+            extra_ns: 10_000,
+        });
+        let degr =
+            simulate_timeline_with(&s, &UnitCost::paper_grid(), 1, &profile).unwrap();
+        assert!(degr.total_ns > base.total_ns);
+        // Backpressure propagates the slack upstream through the bounded
+        // channel: no device finishes earlier than in the pristine run.
+        for (b, d) in base.device_clocks.iter().zip(&degr.device_clocks) {
+            assert!(d >= b);
+        }
+    }
+
+    #[test]
+    fn nth_packet_slack_hits_only_that_packet() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 2, 4));
+        let all = PerturbationProfile::identity().with_link_slack(mario_ir::LinkSlack {
+            src: DeviceId(0),
+            dst: DeviceId(1),
+            nth: None,
+            extra_ns: 3_000,
+        });
+        let one = PerturbationProfile::identity().with_link_slack(mario_ir::LinkSlack {
+            src: DeviceId(0),
+            dst: DeviceId(1),
+            nth: Some(0),
+            extra_ns: 3_000,
+        });
+        let t_all = simulate_timeline_with(&s, &UnitCost::paper_grid(), 1, &all).unwrap();
+        let t_one = simulate_timeline_with(&s, &UnitCost::paper_grid(), 1, &one).unwrap();
+        let t_base = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+        assert!(t_one.total_ns >= t_base.total_ns);
+        assert!(t_all.total_ns >= t_one.total_ns);
     }
 }

@@ -6,8 +6,8 @@
 //! milliseconds, against minutes per configuration on a real cluster.
 
 use crate::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
-use crate::simulator::{simulate_memory, simulate_timeline, SimError};
-use mario_ir::{Schedule, SchemeKind, Topology};
+use crate::simulator::{simulate_memory, simulate_timeline, simulate_timeline_with, SimError};
+use mario_ir::{PerturbationProfile, Schedule, SchemeKind, Topology};
 use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
 use mario_schedules::{generate, ScheduleConfig};
 use serde::{Deserialize, Serialize};
@@ -67,6 +67,13 @@ pub struct TunerConfig {
     /// accepting it, falling back to the next-best candidate when
     /// validation fails (at most [`MAX_VALIDATION_RUNS`] emulator runs).
     pub validate_on_emulator: bool,
+    /// Known cluster degradation (stragglers, slow links). When set, the
+    /// tuner re-simulates its top-[`MAX_DEGRADED_EVALS`] candidates under
+    /// this profile, records the degraded iteration time next to the
+    /// fault-free one, and re-ranks them by degraded time — so a schedule
+    /// that only wins on a pristine cluster cannot be selected over one
+    /// that absorbs the known straggler.
+    pub perturbation: Option<PerturbationProfile>,
 }
 
 impl TunerConfig {
@@ -84,6 +91,7 @@ impl TunerConfig {
             dp_efficiency: 0.97,
             prepose: true,
             validate_on_emulator: false,
+            perturbation: None,
         }
     }
 }
@@ -93,6 +101,11 @@ impl TunerConfig {
 /// candidate fails, the search degrades gracefully to the best remaining
 /// unvalidated one instead of aborting.
 pub const MAX_VALIDATION_RUNS: usize = 8;
+
+/// Upper bound on candidates re-simulated under
+/// [`TunerConfig::perturbation`]. Degraded re-evaluation is a re-ranking
+/// of the head of the fault-free ranking, not a second full grid search.
+pub const MAX_DEGRADED_EVALS: usize = 8;
 
 /// One point of the search grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -168,6 +181,10 @@ pub struct Evaluation {
     pub throughput: f64,
     /// Simulated iteration time, ns.
     pub iter_ns: u64,
+    /// Simulated iteration time under [`TunerConfig::perturbation`], ns.
+    /// `None` until the degraded re-evaluation pass fills it in (only the
+    /// top-[`MAX_DEGRADED_EVALS`] fault-free candidates are re-simulated).
+    pub degraded_iter_ns: Option<u64>,
     /// Per-device peak memory range `[min, max]`, bytes.
     pub peak_mem: (u64, u64),
     /// Whether the candidate exceeds the memory budget.
@@ -180,6 +197,15 @@ impl Evaluation {
     /// True when the candidate is usable (no recorded failure).
     pub fn feasible(&self) -> bool {
         self.failure.is_none()
+    }
+
+    /// Predicted slowdown under the degraded profile
+    /// (`degraded / fault-free`), when both times are known.
+    pub fn degraded_slowdown(&self) -> Option<f64> {
+        match (self.degraded_iter_ns, self.iter_ns) {
+            (Some(d), t) if t > 0 => Some(d as f64 / t as f64),
+            _ => None,
+        }
     }
 }
 
@@ -259,16 +285,19 @@ pub fn admissible(model: &ModelConfig, cand: &Candidate, gbs: u32) -> Option<u32
 }
 
 /// Builds the (optionally graph-tuned) schedule and cost model for an
-/// admissible candidate — the single construction path shared by
-/// simulation-based evaluation and emulator validation, so both judge the
-/// exact same schedule.
+/// admissible candidate, together with the **effective channel capacity**
+/// — the single construction path shared by simulation-based evaluation,
+/// degraded re-evaluation and emulator validation, so all of them judge
+/// the exact same schedule under the exact same buffer depth. The
+/// returned capacity is the one the graph-tuner's `PreposeOptions` used;
+/// computing it anywhere else can silently diverge from it.
 fn build_schedule(
     model: &ModelConfig,
     gpu: &GpuSpec,
     cfg: &TunerConfig,
     cand: Candidate,
     micros: u32,
-) -> (Schedule, AnalyticCost) {
+) -> (Schedule, AnalyticCost, usize) {
     let cap = cfg.channel_capacity.max(scheme_channel_capacity(cand.scheme));
     let topo = topology_of(cand.scheme, cand.pp);
     let setup = TrainSetup::pipeline(model.clone(), gpu.clone(), topo, cand.mbs)
@@ -289,7 +318,7 @@ fn build_schedule(
         };
         run_graph_tuner(&mut schedule, &cost, opts);
     }
-    (schedule, cost)
+    (schedule, cost, cap)
 }
 
 /// Simulates one candidate end to end. Returns `None` when the candidate is
@@ -304,8 +333,7 @@ pub fn evaluate(
     cand: Candidate,
 ) -> Option<Evaluation> {
     let micros = admissible(model, &cand, cfg.gbs)?;
-    let cap = cfg.channel_capacity.max(scheme_channel_capacity(cand.scheme));
-    let (schedule, cost) = build_schedule(model, gpu, cfg, cand, micros);
+    let (schedule, cost, cap) = build_schedule(model, gpu, cfg, cand, micros);
     let mem = simulate_memory(&schedule, &cost, Some(cfg.mem_capacity));
     let oom = !mem.fits(cfg.mem_capacity);
     let peak_mem = (mem.min_peak(), mem.max_peak());
@@ -335,6 +363,7 @@ pub fn evaluate(
         candidate: cand,
         throughput,
         iter_ns,
+        degraded_iter_ns: None,
         peak_mem,
         oom,
         failure,
@@ -367,27 +396,74 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
             }
         }
     }
-    // Rank feasible candidates best-first. With emulator validation on,
-    // walk down the ranking: a candidate the emulator rejects (a schedule
-    // the simulator mis-judged) is recorded with its cause and the search
-    // degrades to the next-best instead of aborting. Validation effort is
-    // bounded; past the bound the next-best candidate is accepted as-is.
-    let mut ranked: Vec<&Evaluation> = curve.iter().filter(|e| e.feasible()).collect();
-    ranked.sort_by(|a, b| b.throughput.total_cmp(&a.throughput));
-    let mut rejected = Vec::new();
-    let mut best = None;
-    for (runs, eval) in ranked.iter().enumerate() {
-        if !cfg.validate_on_emulator || runs >= MAX_VALIDATION_RUNS {
-            best = Some((*eval).clone());
-            break;
-        }
-        match validate_candidate(model, gpu, cfg, eval.candidate) {
-            Ok(()) => {
-                best = Some((*eval).clone());
-                break;
+    // Rank feasible candidates best-first by fault-free throughput.
+    let mut order: Vec<usize> = (0..curve.len()).filter(|&i| curve[i].feasible()).collect();
+    order.sort_by(|&a, &b| curve[b].throughput.total_cmp(&curve[a].throughput));
+
+    // Degraded re-evaluation: re-simulate the head of the ranking under
+    // the caller's perturbation profile and re-rank it by degraded
+    // iteration time, so the selected schedule is the one that best
+    // absorbs the known straggler — not the one that only wins on a
+    // pristine cluster. Both times are reported on the evaluations.
+    if let Some(profile) = &cfg.perturbation {
+        let k = order.len().min(MAX_DEGRADED_EVALS);
+        for &i in &order[..k] {
+            let cand = curve[i].candidate;
+            let Some(micros) = admissible(model, &cand, cfg.gbs) else {
+                continue;
+            };
+            let (schedule, cost, cap) = build_schedule(model, gpu, cfg, cand, micros);
+            if let Ok(t) = simulate_timeline_with(&schedule, &cost, cap, profile) {
+                curve[i].degraded_iter_ns = Some(t.total_ns);
             }
-            Err(cause) => rejected.push((eval.candidate, cause)),
         }
+        // Stable sort: equal degraded times keep the fault-free order;
+        // candidates whose degraded simulation failed sink to the end of
+        // the re-evaluated prefix.
+        order[..k].sort_by_key(|&i| curve[i].degraded_iter_ns.unwrap_or(u64::MAX));
+    }
+
+    // With emulator validation on, walk down the ranking: a candidate the
+    // emulator rejects (a schedule the simulator mis-judged) is recorded
+    // with its cause and the search degrades to the next-best instead of
+    // aborting. Validation effort is bounded; past the bound the
+    // next-best candidate is accepted as-is. The bounded validations run
+    // concurrently on scoped threads — results are merged in candidate
+    // order, so the selected schedule and the rejection log are identical
+    // to the serial walk.
+    let mut rejected = Vec::new();
+    let mut best: Option<Evaluation> = None;
+    if cfg.validate_on_emulator {
+        let k = order.len().min(MAX_VALIDATION_RUNS);
+        let outcomes: Vec<Result<(), CandidateFailure>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = order[..k]
+                .iter()
+                .map(|&i| {
+                    let cand = curve[i].candidate;
+                    scope.spawn(move || validate_candidate(model, gpu, cfg, cand))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("validation thread panicked"))
+                .collect()
+        });
+        for (slot, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(()) => {
+                    best = Some(curve[order[slot]].clone());
+                    break;
+                }
+                Err(cause) => rejected.push((curve[order[slot]].candidate, cause)),
+            }
+        }
+        if best.is_none() {
+            // Every validated candidate failed: degrade gracefully to the
+            // best remaining unvalidated one.
+            best = order.get(k).map(|&i| curve[i].clone());
+        }
+    } else {
+        best = order.first().map(|&i| curve[i].clone());
     }
     let best = best.ok_or(TuneError::NoFeasibleConfig)?;
     Ok(TuneResult {
@@ -409,8 +485,7 @@ fn validate_candidate(
 ) -> Result<(), CandidateFailure> {
     let micros = admissible(model, &cand, cfg.gbs)
         .ok_or_else(|| CandidateFailure::Emulation("candidate became inadmissible".into()))?;
-    let cap = cfg.channel_capacity.max(scheme_channel_capacity(cand.scheme));
-    let (schedule, cost) = build_schedule(model, gpu, cfg, cand, micros);
+    let (schedule, cost, cap) = build_schedule(model, gpu, cfg, cand, micros);
     let emu_cfg = mario_cluster::EmulatorConfig {
         channel_capacity: cap,
         mem_capacity: Some(cfg.mem_capacity),
@@ -607,5 +682,122 @@ mod tests {
         // candidate validates first try and nothing is rejected.
         assert!(r.rejected.is_empty(), "{:?}", r.rejected);
         assert!(r.best.throughput > 0.0);
+    }
+
+    #[test]
+    fn parallel_validation_is_deterministic() {
+        let cfg = TunerConfig {
+            validate_on_emulator: true,
+            ..small_cfg()
+        };
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        let a = tune(&model, &gpu, &cfg).unwrap();
+        for _ in 0..3 {
+            let b = tune(&model, &gpu, &cfg).unwrap();
+            assert_eq!(a.best.candidate, b.best.candidate);
+            assert_eq!(
+                a.rejected.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+                b.rejected.iter().map(|(c, _)| *c).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn channel_capacity_flows_through_the_single_build_path() {
+        // Regression: the effective capacity used to be computed in three
+        // places (`evaluate`, `build_schedule`, `validate_candidate`) and
+        // could diverge. It now exists only inside `build_schedule`;
+        // Chimera and Wave must come back with capacity >= 2 even when the
+        // tuner config asks for less.
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        let cfg = TunerConfig {
+            channel_capacity: 1,
+            ..small_cfg()
+        };
+        for (scheme, pp, mbs) in [
+            (SchemeKind::Chimera, 8u32, 1u32),
+            (SchemeKind::Wave { chunks: 2 }, 8, 1),
+        ] {
+            let cand = Candidate {
+                scheme,
+                pp,
+                dp: 1,
+                mbs,
+                mario: true,
+            };
+            let micros = admissible(&model, &cand, 32).expect("admissible");
+            let (_, _, cap) = build_schedule(&model, &gpu, &cfg, cand, micros);
+            assert!(cap >= 2, "{scheme:?}: effective capacity {cap}");
+            assert_eq!(cap, scheme_channel_capacity(scheme));
+        }
+        // Schemes with no floor keep the configured depth.
+        let cand = Candidate {
+            scheme: SchemeKind::OneFOneB,
+            pp: 8,
+            dp: 1,
+            mbs: 1,
+            mario: false,
+        };
+        let micros = admissible(&model, &cand, 32).unwrap();
+        let (_, _, cap) = build_schedule(&model, &gpu, &cfg, cand, micros);
+        assert_eq!(cap, 1);
+        let wide = TunerConfig {
+            channel_capacity: 4,
+            ..small_cfg()
+        };
+        let (_, _, cap) = build_schedule(&model, &gpu, &wide, cand, micros);
+        assert_eq!(cap, 4);
+    }
+
+    #[test]
+    fn degraded_reevaluation_reports_both_iteration_times() {
+        use mario_ir::{DeviceId, PerturbationProfile};
+        let profile = PerturbationProfile::identity().with_straggler(DeviceId(0), 4.0);
+        let cfg = TunerConfig {
+            perturbation: Some(profile),
+            ..small_cfg()
+        };
+        let r = tune(&ModelConfig::gpt3_1_6b(), &GpuSpec::a100_40g(), &cfg).unwrap();
+        // The winner carries both times, and a straggler can only slow an
+        // iteration down.
+        let degraded = r.best.degraded_iter_ns.expect("degraded time recorded");
+        assert!(degraded >= r.best.iter_ns);
+        assert!(r.best.degraded_slowdown().unwrap() >= 1.0);
+        // The degraded pass touched at most MAX_DEGRADED_EVALS candidates
+        // and every touched one reports a degraded time no faster than its
+        // fault-free one.
+        let touched: Vec<&Evaluation> = r
+            .curve
+            .iter()
+            .filter(|e| e.degraded_iter_ns.is_some())
+            .collect();
+        assert!(!touched.is_empty());
+        assert!(touched.len() <= MAX_DEGRADED_EVALS);
+        for e in touched {
+            assert!(e.degraded_iter_ns.unwrap() >= e.iter_ns, "{}", e.candidate);
+        }
+        // Among re-evaluated candidates the winner has the best degraded
+        // time (the re-ranking property).
+        let best_degraded = r
+            .curve
+            .iter()
+            .filter_map(|e| e.degraded_iter_ns)
+            .min()
+            .unwrap();
+        assert_eq!(r.best.degraded_iter_ns.unwrap(), best_degraded);
+    }
+
+    #[test]
+    fn degraded_reevaluation_is_off_by_default() {
+        let r = tune(
+            &ModelConfig::gpt3_1_6b(),
+            &GpuSpec::a100_40g(),
+            &small_cfg(),
+        )
+        .unwrap();
+        assert!(r.curve.iter().all(|e| e.degraded_iter_ns.is_none()));
+        assert_eq!(r.best.degraded_slowdown(), None);
     }
 }

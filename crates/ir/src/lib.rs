@@ -20,6 +20,9 @@
 //! * [`ledger`] — the shared memory-accounting rules (static vs dynamic,
 //!   checkpoint vs full activation) used identically by offline simulation
 //!   and online emulation;
+//! * [`perturb`] — degraded-cluster perturbation profiles (stragglers,
+//!   slow links), the shared vocabulary that keeps the simulator's
+//!   degraded mode and the emulator's fault layer bit-for-bit aligned;
 //! * [`validate`] / [`exec`] — structural validation plus symbolic
 //!   execution proving schedules deadlock-free under blocking p2p.
 
@@ -31,6 +34,7 @@ pub mod ids;
 pub mod instr;
 pub mod ledger;
 pub mod list;
+pub mod perturb;
 pub mod rules;
 pub mod schedule;
 pub mod text;
@@ -43,6 +47,7 @@ pub use ids::{DeviceId, MicroId, PartId, StageId};
 pub use instr::{Instr, InstrKind, InstrTag};
 pub use ledger::{AllocKey, MemLedger, OomError};
 pub use list::DeviceProgram;
+pub use perturb::{LinkSlack, PerturbationProfile, SlowdownWindow};
 pub use rules::MemoryRules;
 pub use schedule::Schedule;
 pub use text::{from_text, to_text};

@@ -233,6 +233,72 @@ proptest! {
     }
 }
 
+// Degraded-mode fidelity: the DP simulator under a perturbation profile
+// derived from an absorbable fault plan agrees bit-for-bit with the
+// zero-jitter emulator running the faults themselves — on every scheme.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn degraded_simulator_matches_faulted_emulator(
+        (scheme, d, n) in scheme_config(),
+        seed_a in 0u64..512,
+        seed_b in 0u64..512,
+    ) {
+        use mario::cluster::FaultPlan;
+
+        let s = generate(ScheduleConfig::new(scheme, d, n));
+        let cost = UnitCost::paper_grid();
+        let cap = cap_of(scheme);
+        // Two independently drawn absorbable faults (stragglers, slow
+        // links) merged into one plan — overlapping windows and duplicate
+        // packet delays included.
+        let mut plan = FaultPlan::single_absorbable(seed_a, &s);
+        plan.faults
+            .extend(FaultPlan::single_absorbable(seed_b, &s).faults);
+        prop_assert!(plan.is_absorbable());
+
+        let profile = plan.perturbation_profile();
+        let sim = simulate_timeline_with(&s, &cost, cap, &profile)
+            .expect("degraded simulation completes");
+        let emu = mario::cluster::run_with_faults(
+            &s,
+            &cost,
+            EmulatorConfig {
+                channel_capacity: cap,
+                ..Default::default()
+            },
+            &plan,
+        )
+        .expect("absorbable plan completes");
+        prop_assert_eq!(&sim.device_clocks, &emu.device_clocks,
+            "scheme {:?} D={} N={} plan {:?}", scheme, d, n, plan.faults);
+        prop_assert_eq!(sim.total_ns, emu.total_ns);
+    }
+
+    /// The identity profile cannot perturb the fault-free path: degraded
+    /// mode with nothing to enforce reproduces the baseline simulation
+    /// bit for bit, event for event, on every scheme.
+    #[test]
+    fn identity_profile_is_inert((scheme, d, n) in scheme_config()) {
+        let s = generate(ScheduleConfig::new(scheme, d, n));
+        let cost = UnitCost::paper_grid();
+        let cap = cap_of(scheme);
+        let base = simulate_timeline(&s, &cost, cap).unwrap();
+        let degraded =
+            simulate_timeline_with(&s, &cost, cap, &PerturbationProfile::identity()).unwrap();
+        prop_assert_eq!(&base.device_clocks, &degraded.device_clocks);
+        prop_assert_eq!(base.total_ns, degraded.total_ns);
+        let flat = |t: &mario::core::SimTimeline| -> Vec<(u32, String, u64, u64)> {
+            t.events
+                .iter()
+                .map(|e| (e.device.0, e.instr.clone(), e.start, e.end))
+                .collect()
+        };
+        prop_assert_eq!(flat(&base), flat(&degraded));
+    }
+}
+
 // Linear-estimator fits recover arbitrary lines through noisy samples.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
