@@ -1,11 +1,16 @@
-//! Chaos sweep: seeded single-fault injection across V/X/W. Exits
-//! non-zero if any scenario violates the terminate-attribute-reproduce
-//! invariant. Pass `--smoke` for a single-seed CI run.
+//! Chaos sweep: seeded single-fault injection across V/X/W, then a
+//! correlated rack-failure sweep with checkpoint-restart recovery. Exits
+//! non-zero if any scenario violates its invariant
+//! (terminate-attribute-reproduce; for correlated scenarios additionally
+//! resume-beats-restart). Pass `--smoke` for a single-seed CI run.
 fn main() {
+    use mario_bench::experiments::chaos;
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let rows = mario_bench::experiments::chaos::run(if smoke { 1 } else { 16 });
-    println!("{}", mario_bench::experiments::chaos::render(&rows));
-    if rows.iter().any(|r| !r.ok) {
+    let rows = chaos::run(if smoke { 1 } else { 16 });
+    println!("{}", chaos::render(&rows));
+    let correlated = chaos::run_correlated(if smoke { 1 } else { 8 });
+    println!("{}", chaos::render_correlated(&correlated));
+    if rows.iter().any(|r| !r.ok) || correlated.iter().any(|r| !r.ok) {
         std::process::exit(1);
     }
 }

@@ -9,13 +9,15 @@ use crate::faults::{DeviceFaults, FaultKind, FaultReport};
 use crate::link::{Header, LinkError, RecvHalf, SendHalf};
 use mario_ir::exec::MsgClass;
 use mario_ir::{
-    CostModel, DeviceId, DeviceProgram, Instr, InstrKind, MemLedger, MemoryRules, Nanos,
+    AllocKey, CheckpointPolicy, CostModel, DeviceId, DeviceProgram, Instr, InstrKind, MemLedger,
+    MemoryRules, Nanos,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// One executed instruction with its virtual start/end times.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,6 +46,46 @@ pub struct DeviceReport {
     pub timeline: Vec<TimelineEvent>,
     /// Faults this device absorbed without failing (slowdowns, delays).
     pub absorbed: Vec<FaultReport>,
+    /// Iterations covered by this device's last completed checkpoint
+    /// write (0 when no policy was active or nothing was saved).
+    pub last_checkpoint: u32,
+}
+
+/// Shared scoreboard of completed checkpoint writes: each device records
+/// the number of iterations its latest checkpoint covers, and the
+/// cluster-durable checkpoint is the minimum across devices — a model
+/// checkpoint only exists once *every* shard of it was written, exactly
+/// like a real distributed snapshot.
+#[derive(Debug, Default)]
+pub struct CkptBoard {
+    saved: Vec<AtomicU32>,
+}
+
+impl CkptBoard {
+    /// A board for `devices` devices, nothing saved yet.
+    pub fn new(devices: usize) -> Self {
+        Self {
+            saved: (0..devices).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Records that `device` completed a checkpoint covering the first
+    /// `saved` iterations.
+    pub fn record(&self, device: DeviceId, saved: u32) {
+        if let Some(slot) = self.saved.get(device.index()) {
+            slot.fetch_max(saved, Ordering::Relaxed);
+        }
+    }
+
+    /// Iterations covered by the last checkpoint *every* device
+    /// completed (the only checkpoint a resume can trust).
+    pub fn cluster_saved(&self) -> u32 {
+        self.saved
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(0)
+    }
 }
 
 /// What a blocked device is waiting on right now.
@@ -131,6 +173,10 @@ pub struct DeviceCtx<'a> {
     pub faults: DeviceFaults,
     /// Shared blocked-device table for wait-chain reporting.
     pub stalls: &'a StallTable,
+    /// Model-state checkpointing policy, if any.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Shared checkpoint scoreboard.
+    pub ckpts: &'a CkptBoard,
 }
 
 /// The per-device runtime state.
@@ -152,6 +198,9 @@ pub struct DeviceRuntime<'a> {
     sends_to: HashMap<DeviceId, usize>,
     absorbed: Vec<FaultReport>,
     iteration: u32,
+    checkpoint: Option<CheckpointPolicy>,
+    ckpts: &'a CkptBoard,
+    last_checkpoint: u32,
 }
 
 impl<'a> DeviceRuntime<'a> {
@@ -196,6 +245,9 @@ impl<'a> DeviceRuntime<'a> {
             sends_to: HashMap::new(),
             absorbed: Vec::new(),
             iteration: 0,
+            checkpoint: ctx.checkpoint,
+            ckpts: ctx.ckpts,
+            last_checkpoint: 0,
         }
     }
 
@@ -220,6 +272,8 @@ impl<'a> DeviceRuntime<'a> {
             blocked_peer: None,
             vtime: self.clock,
             iteration: self.iteration,
+            last_checkpoint: 0,
+            group: None,
             detail: detail.to_string(),
         }
     }
@@ -232,7 +286,7 @@ impl<'a> DeviceRuntime<'a> {
         if let Some(fault) = self.faults.recv_stall_from(peer) {
             let mut report = self.report(fault, pc, Some(instr), "incoming link stalled");
             report.blocked_peer = Some(peer);
-            return EmuError::Fault(report);
+            return EmuError::Fault(Box::new(report));
         }
         match e {
             LinkError::Timeout => EmuError::DeadlockSuspected {
@@ -261,7 +315,7 @@ impl<'a> DeviceRuntime<'a> {
             .map_err(|cause| match squeeze {
                 // OOM under an injected capacity squeeze is the squeeze
                 // surfacing: report it as the structured fault.
-                Some(fault) => EmuError::Fault(FaultReport {
+                Some(fault) => EmuError::Fault(Box::new(FaultReport {
                     fault,
                     device,
                     pc,
@@ -269,8 +323,10 @@ impl<'a> DeviceRuntime<'a> {
                     blocked_peer: None,
                     vtime: self.clock,
                     iteration: self.iteration,
+                    last_checkpoint: 0,
+                    group: None,
                     detail: format!("memory squeezed: {cause}"),
-                }),
+                })),
                 None => EmuError::Oom {
                     device,
                     pc,
@@ -280,20 +336,26 @@ impl<'a> DeviceRuntime<'a> {
             })
     }
 
-    /// Executes one full pass over `program` as iteration `iter_idx`.
+    /// Executes one full pass over `program` as iteration `iter_idx`,
+    /// then writes a model-state checkpoint when the active policy puts a
+    /// boundary at this iteration.
     pub fn run_iteration(&mut self, program: &DeviceProgram, iter_idx: u32) -> Result<(), EmuError> {
         self.iteration = iter_idx;
+        // Packet numbering is per-iteration (matching `send_sites` and the
+        // profile's `LinkSlack::nth`), so link faults can target packets
+        // of any iteration, not just the first.
+        self.sends_to.clear();
         let faults_active = !self.faults.is_empty() && iter_idx == self.faults.iteration;
         for (pc, instr) in program.iter() {
             if faults_active {
                 if let Some(fault @ FaultKind::Crash { pc: at, .. }) = self.faults.crash {
                     if at == pc {
-                        return Err(EmuError::Fault(self.report(
+                        return Err(EmuError::Fault(Box::new(self.report(
                             fault,
                             pc,
                             Some(instr),
                             "device crashed",
-                        )));
+                        ))));
                     }
                 }
             }
@@ -447,7 +509,81 @@ impl<'a> DeviceRuntime<'a> {
                 });
             }
         }
+        self.checkpoint_boundary(program, iter_idx)
+    }
+
+    /// Writes the end-of-iteration model-state checkpoint when the active
+    /// policy puts a boundary at `iter_idx`: charges the (unjittered)
+    /// write time, holds the transient serialization buffer against
+    /// capacity, and records the completed write on the shared board.
+    fn checkpoint_boundary(
+        &mut self,
+        program: &DeviceProgram,
+        iter_idx: u32,
+    ) -> Result<(), EmuError> {
+        let Some(policy) = self.checkpoint else {
+            return Ok(());
+        };
+        if !policy.is_boundary(iter_idx) {
+            return Ok(());
+        }
+        let start = self.clock;
+        // The write is a model parameter, not a kernel: it is charged
+        // exactly as configured (no jitter, no straggler factor).
+        self.clock += policy.write_ns;
+        // The serialization buffer is transient but counts against
+        // capacity at its peak — an injected squeeze can make the
+        // checkpoint itself the OOM site, attributed like any other
+        // squeeze-induced failure.
+        let pc = program.len();
+        if let Err(cause) = self.ledger.alloc(AllocKey::Snapshot, policy.mem_overhead) {
+            return Err(match self.faults.squeeze {
+                Some(fault) => EmuError::Fault(Box::new(FaultReport {
+                    fault,
+                    device: self.device,
+                    pc,
+                    instr: "CKPT".to_string(),
+                    blocked_peer: None,
+                    vtime: self.clock,
+                    iteration: self.iteration,
+                    last_checkpoint: 0,
+                    group: None,
+                    detail: format!("memory squeezed: {cause}"),
+                })),
+                None => EmuError::Oom {
+                    device: self.device,
+                    pc,
+                    instr: "CKPT".to_string(),
+                    cause,
+                },
+            });
+        }
+        self.ledger.free(AllocKey::Snapshot);
+        self.last_checkpoint = iter_idx + 1;
+        self.ckpts.record(self.device, self.last_checkpoint);
+        if self.record {
+            self.timeline.push(TimelineEvent {
+                device: self.device,
+                instr: "CKPT".to_string(),
+                start,
+                end: self.clock,
+            });
+        }
         Ok(())
+    }
+
+    /// Poisons every channel half this device owns: outgoing data links
+    /// and the ack sides of incoming links. Called once the device has
+    /// settled (completed or failed), *before* the runtime is dropped, so
+    /// peers blocked on this device observe a FIFO-ordered end-of-stream
+    /// marker instead of a real-time-racy channel teardown.
+    pub fn poison_links(&mut self) {
+        for half in self.out.values_mut() {
+            half.poison();
+        }
+        for half in self.inp.values_mut() {
+            half.poison();
+        }
     }
 
     /// Finishes the run and reports.
@@ -458,6 +594,7 @@ impl<'a> DeviceRuntime<'a> {
             leaked: self.ledger.live_count(),
             timeline: self.timeline,
             absorbed: self.absorbed,
+            last_checkpoint: self.last_checkpoint,
         }
     }
 

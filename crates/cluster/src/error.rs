@@ -59,7 +59,9 @@ pub enum EmuError {
         peer: DeviceId,
     },
     /// An injected fault terminated the run (structured attribution).
-    Fault(FaultReport),
+    /// Boxed: the report is by far the largest payload, and `Result`s
+    /// carrying this enum travel through every hot emulator path.
+    Fault(Box<FaultReport>),
     /// A device thread panicked; the panic was contained and converted.
     WorkerPanicked {
         /// The panicking device.
@@ -92,7 +94,7 @@ impl EmuError {
     /// The structured fault report, when the failure was injected.
     pub fn fault_report(&self) -> Option<&FaultReport> {
         match self {
-            EmuError::Fault(report) => Some(report),
+            EmuError::Fault(report) => Some(report.as_ref()),
             _ => None,
         }
     }
@@ -209,9 +211,11 @@ mod tests {
             blocked_peer: None,
             vtime: 1234,
             iteration: 0,
+            last_checkpoint: 0,
+            group: None,
             detail: "device crashed".into(),
         };
-        let e = EmuError::Fault(report.clone());
+        let e = EmuError::Fault(Box::new(report.clone()));
         assert_eq!(e.device(), DeviceId(2));
         assert_eq!(e.fault_report(), Some(&report));
         assert!(e.priority() < EmuError::PeerFailed { device: DeviceId(0), pc: 0 }.priority());

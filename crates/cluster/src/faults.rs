@@ -119,6 +119,19 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+/// A named set of faults injected together because they share a physical
+/// root cause (one rack losing power takes its devices *and* their links).
+/// Groups exist for attribution: a [`FaultReport`] whose fault belongs to
+/// a group names the group, so a sweep can count "rack-3 failures" rather
+/// than unrelated-looking crashes and stalls.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultGroup {
+    /// Human-readable group name (e.g. `rack-1`).
+    pub name: String,
+    /// The member faults (each also present in [`FaultPlan::faults`]).
+    pub members: Vec<FaultKind>,
+}
+
 /// A reproducible set of faults to inject into one run. Plans built from
 /// the same seed are identical, so every failure they induce is
 /// re-observable.
@@ -129,6 +142,10 @@ pub struct FaultPlan {
     /// Iteration (0-based) during which slowdown/crash/link faults fire;
     /// memory squeezes clamp capacity for the whole run.
     pub iteration: u32,
+    /// Correlated-fault groups for attribution (possibly empty; every
+    /// member fault is also listed in `faults`).
+    #[serde(default)]
+    pub groups: Vec<FaultGroup>,
 }
 
 impl FaultPlan {
@@ -187,6 +204,71 @@ impl FaultPlan {
         self.faults.iter().all(FaultKind::is_absorbable)
     }
 
+    /// Number of hard (non-absorbable) faults in the plan — the failures
+    /// that kill an attempt and force a restart. This is the fault count
+    /// the checkpoint-interval tuner turns into a rate.
+    pub fn hard_faults(&self) -> usize {
+        self.faults.iter().filter(|f| !f.is_absorbable()).count()
+    }
+
+    /// Moves the plan's transient faults to iteration `iter`.
+    pub fn at_iteration(mut self, iter: u32) -> Self {
+        self.iteration = iter;
+        self
+    }
+
+    /// A correlated multi-fault plan modeling a whole rack losing power:
+    /// one device of the seeded rack crashes, and every inter-rack link
+    /// touching the rack stalls (its first packet of the fault iteration
+    /// is lost). All members share one [`FaultGroup`] named `rack-<r>`,
+    /// so any surfaced [`FaultReport`] attributes back to the rack.
+    /// Racks partition devices into pairs `{2r, 2r+1}`; deterministic in
+    /// `seed`.
+    pub fn rack_failure(seed: u64, schedule: &Schedule) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let devices = schedule.devices();
+        let racks = devices.div_ceil(2).max(1);
+        let rack = rng.gen_range(0..racks);
+        let in_rack = |d: DeviceId| d.0 / 2 == rack;
+
+        // The crashing device: a seeded member of the rack, at a seeded pc.
+        let members: Vec<DeviceId> = (0..devices).map(DeviceId).filter(|&d| in_rack(d)).collect();
+        let victim = members[rng.gen_range(0..members.len())];
+        let len = schedule.program(victim).len().max(1);
+        let mut faults = vec![FaultKind::Crash {
+            device: victim,
+            pc: rng.gen_range(0..len),
+        }];
+
+        // Every directed link with exactly one endpoint in the rack loses
+        // its first packet (links internal to the rack die with the rack
+        // and need no separate stall to surface).
+        let mut stalled: Vec<(DeviceId, DeviceId)> = Vec::new();
+        for (src, dst, nth) in send_sites(schedule) {
+            if nth == 0 && (in_rack(src) != in_rack(dst)) && !stalled.contains(&(src, dst)) {
+                stalled.push((src, dst));
+                faults.push(FaultKind::LinkStall { src, dst, nth: 0 });
+            }
+        }
+
+        Self {
+            groups: vec![FaultGroup {
+                name: format!("rack-{rack}"),
+                members: faults.clone(),
+            }],
+            faults,
+            iteration: 0,
+        }
+    }
+
+    /// The name of the correlated group `fault` belongs to, if any.
+    pub fn group_of(&self, fault: &FaultKind) -> Option<String> {
+        self.groups
+            .iter()
+            .find(|g| g.members.contains(fault))
+            .map(|g| g.name.clone())
+    }
+
     /// The [`PerturbationProfile`] this plan imposes on the cluster — the
     /// contract that lets the DP simulator predict a faulted emulator run.
     ///
@@ -195,9 +277,11 @@ impl FaultPlan {
     /// equivalent and are skipped — call [`FaultPlan::is_absorbable`]
     /// first when exact agreement is required. Duplicate link delays on
     /// the same `(src, dst, nth)` packet keep only the first, matching
-    /// the emulator's first-match enforcement. The profile describes the
-    /// plan's fault iteration; the simulator models a single iteration,
-    /// so agreement holds for single-iteration runs with `iteration == 0`.
+    /// the emulator's first-match enforcement. Every window carries the
+    /// plan's fault iteration, matching the emulator's per-iteration
+    /// fault scoping — agreement holds for any iteration count as long
+    /// as the simulator models the same number of iterations
+    /// (`simulate_timeline_iters`).
     pub fn perturbation_profile(&self) -> PerturbationProfile {
         let mut profile = PerturbationProfile::identity();
         for &fault in &self.faults {
@@ -213,6 +297,7 @@ impl FaultPlan {
                         factor,
                         from_pc,
                         until_pc,
+                        iteration: Some(self.iteration),
                     });
                 }
                 FaultKind::LinkDelay {
@@ -230,6 +315,7 @@ impl FaultPlan {
                             dst,
                             nth: Some(nth),
                             extra_ns,
+                            iteration: Some(self.iteration),
                         });
                     }
                 }
@@ -445,6 +531,14 @@ pub struct FaultReport {
     pub vtime: Nanos,
     /// Iteration (0-based) during which the failure surfaced.
     pub iteration: u32,
+    /// Iterations covered by the last checkpoint the *whole cluster* had
+    /// completed when the failure surfaced (0 when no checkpoint policy
+    /// was active or nothing was saved yet) — where a resume restarts.
+    #[serde(default)]
+    pub last_checkpoint: u32,
+    /// The correlated [`FaultGroup`] this fault belongs to, if any.
+    #[serde(default)]
+    pub group: Option<String>,
     /// Normalized cause description.
     pub detail: String,
 }
@@ -456,6 +550,9 @@ impl std::fmt::Display for FaultReport {
             "[{}] {} at #{} ({}) t={}ns iter {}: {}",
             self.fault, self.device, self.pc, self.instr, self.vtime, self.iteration, self.detail
         )?;
+        if let Some(g) = &self.group {
+            write!(f, " (group {g})")?;
+        }
         if let Some(p) = self.blocked_peer {
             write!(f, " (blocked on {p})")?;
         }
@@ -560,10 +657,28 @@ mod tests {
             });
         assert!(plan.is_absorbable());
         let p = plan.perturbation_profile();
-        assert_eq!(p.compute_factor(DeviceId(1), 3), 10.0);
-        assert_eq!(p.compute_factor(DeviceId(1), 5), 1.0);
-        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 3), 7_000);
-        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 2), 0);
+        assert_eq!(p.compute_factor(DeviceId(1), 0, 3), 10.0);
+        assert_eq!(p.compute_factor(DeviceId(1), 0, 5), 1.0);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0, 3), 7_000);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0, 2), 0);
+        // The windows are scoped to the plan's fault iteration.
+        assert_eq!(p.compute_factor(DeviceId(1), 1, 3), 1.0);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 1, 3), 0);
+    }
+
+    #[test]
+    fn profile_windows_follow_the_plan_iteration() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::Slowdown {
+                device: DeviceId(0),
+                factor: 4.0,
+                from_pc: 0,
+                until_pc: 10,
+            })
+            .at_iteration(2);
+        let p = plan.perturbation_profile();
+        assert_eq!(p.compute_factor(DeviceId(0), 2, 5), 4.0);
+        assert_eq!(p.compute_factor(DeviceId(0), 0, 5), 1.0);
     }
 
     #[test]
@@ -604,7 +719,46 @@ mod tests {
                 extra_ns: 9_000,
             });
         let p = plan.perturbation_profile();
-        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0), 5_000);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0, 0), 5_000);
+    }
+
+    #[test]
+    fn rack_failure_is_correlated_and_deterministic() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        for seed in 0..32 {
+            let plan = FaultPlan::rack_failure(seed, &s);
+            assert_eq!(plan, FaultPlan::rack_failure(seed, &s), "seed {seed}");
+            // One crash plus at least one stall (a 4-deep pipeline always
+            // has links crossing any rack boundary).
+            let crashes = plan
+                .faults
+                .iter()
+                .filter(|f| matches!(f, FaultKind::Crash { .. }))
+                .count();
+            assert_eq!(crashes, 1, "seed {seed}");
+            assert!(plan.hard_faults() >= 2, "seed {seed}: {:?}", plan.faults);
+            // Every fault is attributed to the one rack group.
+            assert_eq!(plan.groups.len(), 1);
+            let name = &plan.groups[0].name;
+            assert!(name.starts_with("rack-"), "{name}");
+            for f in &plan.faults {
+                assert_eq!(plan.group_of(f).as_ref(), Some(name));
+            }
+            // The crash victim and the stalled links all touch the rack.
+            let rack: u32 = name["rack-".len()..].parse().unwrap();
+            for f in &plan.faults {
+                match *f {
+                    FaultKind::Crash { device, .. } => assert_eq!(device.0 / 2, rack),
+                    FaultKind::LinkStall { src, dst, .. } => {
+                        assert!((src.0 / 2 == rack) != (dst.0 / 2 == rack))
+                    }
+                    ref other => panic!("unexpected fault {other:?}"),
+                }
+            }
+        }
+        // Ungrouped plans attribute to nothing.
+        let lone = FaultPlan::single_random(0, &s);
+        assert_eq!(lone.group_of(&lone.faults[0]), None);
     }
 
     #[test]

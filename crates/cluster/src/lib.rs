@@ -29,9 +29,9 @@ pub mod faults;
 pub mod link;
 pub mod runner;
 
-pub use device::{DeviceReport, StallTable, TimelineEvent};
+pub use device::{CkptBoard, DeviceReport, StallTable, TimelineEvent};
 pub use error::EmuError;
-pub use faults::{FaultKind, FaultPlan, FaultReport};
+pub use faults::{FaultGroup, FaultKind, FaultPlan, FaultReport};
 pub use runner::{
     effective_watchdog, run, run_with_faults, run_with_recovery, EmulatorConfig, RecoveredRun,
     RunReport,

@@ -45,6 +45,21 @@ pub struct Packet {
     pub sent_at: Nanos,
 }
 
+/// What travels on the data channel: a genuine packet, or the poison
+/// marker a settling device enqueues behind all its real traffic.
+#[derive(Debug, Clone, Copy)]
+enum Wire {
+    Pkt(Packet),
+    Poison,
+}
+
+/// What travels on the ack channel: a dequeue timestamp, or poison.
+#[derive(Debug, Clone, Copy)]
+enum Ack {
+    At(Nanos),
+    Poison,
+}
+
 /// Outcome of a blocking link operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkError {
@@ -58,28 +73,32 @@ pub enum LinkError {
 
 /// Sending half of a link.
 pub struct SendHalf {
-    data: Sender<Packet>,
-    ack: Receiver<Nanos>,
+    data: Sender<Wire>,
+    ack: Receiver<Ack>,
     pending: VecDeque<()>,
     capacity: usize,
     timeout: Duration,
+    poisoned: bool,
 }
 
 /// Receiving half of a link.
 pub struct RecvHalf {
-    data: Receiver<Packet>,
-    ack: Sender<Nanos>,
+    data: Receiver<Wire>,
+    ack: Sender<Ack>,
     timeout: Duration,
+    poisoned: bool,
 }
 
 /// Creates a link with the given buffer `capacity` and watchdog `timeout`.
 pub fn link(capacity: usize, timeout: Duration) -> (SendHalf, RecvHalf) {
     assert!(capacity >= 1);
-    // Data channel sized to capacity: the ack protocol guarantees at most
-    // `capacity` packets are ever in flight, so sends never block in real
-    // time — all blocking is virtual (via acks).
-    let (data_tx, data_rx) = bounded(capacity);
-    let (ack_tx, ack_rx) = bounded(capacity);
+    // Channels sized to capacity + 1: the ack protocol guarantees at most
+    // `capacity` packets (and `capacity` buffered acks) are ever in
+    // flight, so sends never block in real time — all blocking is virtual
+    // (via acks) — and the extra slot is reserved for the single poison
+    // marker each half may enqueue at teardown.
+    let (data_tx, data_rx) = bounded(capacity + 1);
+    let (ack_tx, ack_rx) = bounded(capacity + 1);
     (
         SendHalf {
             data: data_tx,
@@ -87,11 +106,13 @@ pub fn link(capacity: usize, timeout: Duration) -> (SendHalf, RecvHalf) {
             pending: VecDeque::new(),
             capacity,
             timeout,
+            poisoned: false,
         },
         RecvHalf {
             data: data_rx,
             ack: ack_tx,
             timeout,
+            poisoned: false,
         },
     )
 }
@@ -116,7 +137,8 @@ impl SendHalf {
     ) -> Result<Nanos, LinkError> {
         if self.pending.len() == self.capacity {
             let dequeued_at = match self.ack.recv_timeout(self.timeout) {
-                Ok(t) => t,
+                Ok(Ack::At(t)) => t,
+                Ok(Ack::Poison) => return Err(LinkError::Disconnected),
                 Err(RecvTimeoutError::Timeout) => return Err(LinkError::Timeout),
                 Err(RecvTimeoutError::Disconnected) => return Err(LinkError::Disconnected),
             };
@@ -128,7 +150,9 @@ impl SendHalf {
             bytes,
             sent_at: now + delay,
         };
-        self.data.send(pkt).map_err(|_| LinkError::Disconnected)?;
+        self.data
+            .send(Wire::Pkt(pkt))
+            .map_err(|_| LinkError::Disconnected)?;
         self.pending.push_back(());
         Ok(now)
     }
@@ -138,13 +162,27 @@ impl SendHalf {
     pub fn drain(&mut self, mut now: Nanos) -> Result<Nanos, LinkError> {
         while self.pending.pop_front().is_some() {
             let t = match self.ack.recv_timeout(self.timeout) {
-                Ok(t) => t,
+                Ok(Ack::At(t)) => t,
+                Ok(Ack::Poison) => return Err(LinkError::Disconnected),
                 Err(RecvTimeoutError::Timeout) => return Err(LinkError::Timeout),
                 Err(RecvTimeoutError::Disconnected) => return Err(LinkError::Disconnected),
             };
             now = now.max(t);
         }
         Ok(now)
+    }
+
+    /// Enqueues the poison marker behind all genuine traffic (once). A
+    /// settling device calls this instead of dropping the half, so a
+    /// blocked peer wakes on a FIFO-ordered event — after consuming every
+    /// real packet — rather than on the racy teardown of the channel.
+    pub fn poison(&mut self) {
+        if !self.poisoned {
+            // The reserved extra slot means this never blocks; it only
+            // errs if the peer already dropped its end (nobody listening).
+            let _ = self.data.send(Wire::Poison);
+            self.poisoned = true;
+        }
     }
 }
 
@@ -159,7 +197,11 @@ impl RecvHalf {
         transfer_ns: impl Fn(u64) -> Nanos,
     ) -> Result<Nanos, LinkError> {
         let pkt = match self.data.recv_timeout(self.timeout) {
-            Ok(p) => p,
+            Ok(Wire::Pkt(p)) => p,
+            // The sender settled (finished or failed) and will never send
+            // again: equivalent to a hang-up, but FIFO-ordered behind its
+            // genuine traffic, so the observation is deterministic.
+            Ok(Wire::Poison) => return Err(LinkError::Disconnected),
             Err(RecvTimeoutError::Timeout) => return Err(LinkError::Timeout),
             Err(RecvTimeoutError::Disconnected) => return Err(LinkError::Disconnected),
         };
@@ -167,11 +209,21 @@ impl RecvHalf {
             return Err(LinkError::Mismatch(pkt.header));
         }
         let arrival = now.max(pkt.sent_at + transfer_ns(pkt.bytes));
-        // The ack channel has the same capacity as data and the sender reads
-        // one ack per extra send, so this never blocks; a sender that has
-        // already finished (dropped its ack end) simply no longer cares.
-        let _ = self.ack.send(arrival);
+        // The ack channel outsizes the in-flight ack count and the sender
+        // reads one ack per extra send, so this never blocks; a sender that
+        // has already finished (dropped its ack end) simply no longer cares.
+        let _ = self.ack.send(Ack::At(arrival));
         Ok(arrival)
+    }
+
+    /// Enqueues poison on the ack channel (once): a peer blocked waiting
+    /// for an ack from this settling device wakes deterministically after
+    /// consuming every genuine ack.
+    pub fn poison(&mut self) {
+        if !self.poisoned {
+            let _ = self.ack.send(Ack::Poison);
+            self.poisoned = true;
+        }
     }
 }
 

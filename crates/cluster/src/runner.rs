@@ -12,12 +12,12 @@
 //! faulted run a bounded number of times (the checkpoint-restart loop a
 //! real fleet scheduler would drive).
 
-use crate::device::{DeviceCtx, DeviceReport, DeviceRuntime, StallTable, TimelineEvent};
+use crate::device::{CkptBoard, DeviceCtx, DeviceReport, DeviceRuntime, StallTable, TimelineEvent};
 use crate::error::EmuError;
 use crate::faults::{FaultPlan, FaultReport};
 use crate::link::{link, RecvHalf, SendHalf};
 use mario_ir::exec::MsgClass;
-use mario_ir::{CostModel, DeviceId, InstrKind, Nanos, Schedule};
+use mario_ir::{CheckpointPolicy, CostModel, DeviceId, InstrKind, Nanos, Schedule};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -42,6 +42,9 @@ pub struct EmulatorConfig {
     pub mem_capacity: Option<u64>,
     /// Record a full per-instruction timeline.
     pub record_timeline: bool,
+    /// Model-state checkpointing policy (None = no checkpoints; the run
+    /// is bit-identical to a build without the checkpoint layer).
+    pub checkpoint: Option<CheckpointPolicy>,
     /// Minimum real-time watchdog for blocking ops. The effective watchdog
     /// additionally scales with schedule size (see [`effective_watchdog`])
     /// so big schedules on loaded machines are not misdiagnosed as
@@ -59,6 +62,7 @@ impl Default for EmulatorConfig {
             seed: 42,
             mem_capacity: None,
             record_timeline: false,
+            checkpoint: None,
             watchdog: Duration::from_secs(2),
         }
     }
@@ -96,6 +100,12 @@ pub struct RunReport {
     /// Injected faults the run absorbed without failing (slowdowns,
     /// link delays), in device order.
     pub faults: Vec<FaultReport>,
+    /// Iterations covered by the last cluster-durable checkpoint
+    /// (None when no [`EmulatorConfig::checkpoint`] policy was active).
+    pub last_checkpoint: Option<u32>,
+    /// Per-device virtual time spent writing checkpoints, ns (all
+    /// devices write in parallel, so this is also the wall-clock cost).
+    pub ckpt_overhead_ns: Nanos,
 }
 
 impl RunReport {
@@ -140,6 +150,7 @@ pub fn run_with_faults(
     let rules = mario_ir::MemoryRules::new(schedule);
     let watchdog = effective_watchdog(schedule, &cfg);
     let stalls = StallTable::new(devices);
+    let ckpts = CkptBoard::new(devices);
 
     // Discover which directed (sender, receiver, class) links exist.
     let mut send_ends: Vec<HashMap<(DeviceId, MsgClass, mario_ir::PartId), SendHalf>> =
@@ -164,6 +175,16 @@ pub fn run_with_faults(
         }
     }
 
+    // Settlement barrier for deterministic teardown: a device that has
+    // finished or failed first poisons its links (a FIFO-ordered
+    // end-of-stream marker behind all genuine traffic), then parks here
+    // until every device has settled. Channel halves thus stay alive for
+    // as long as any peer might still observe them, so what a blocked
+    // device sees never depends on the real-time order in which its
+    // peers unwound — the property that keeps multi-fault attribution
+    // (and the recovery accounting built on it) reproducible.
+    let settle = std::sync::Barrier::new(devices);
+
     let mut results: Vec<Result<DeviceReport, EmuError>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(devices);
@@ -174,30 +195,53 @@ pub fn run_with_faults(
         {
             let rules = &rules;
             let stalls = &stalls;
+            let ckpts = &ckpts;
+            let settle = &settle;
             let device = DeviceId(d as u32);
             let program = schedule.program(device);
             let faults = plan.for_device(device);
             handles.push(scope.spawn(move || {
-                let mut rt = DeviceRuntime::new(
-                    DeviceCtx {
-                        device,
-                        cost,
-                        rules,
-                        mem_capacity: cfg.mem_capacity,
-                        jitter: cfg.jitter,
-                        straggler_spread: cfg.straggler_spread,
-                        seed: cfg.seed,
-                        record_timeline: cfg.record_timeline,
-                        faults,
-                        stalls,
-                    },
-                    out,
-                    inp,
-                );
-                for iter in 0..cfg.iterations {
-                    rt.run_iteration(program, iter)?;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut rt = DeviceRuntime::new(
+                        DeviceCtx {
+                            device,
+                            cost,
+                            rules,
+                            mem_capacity: cfg.mem_capacity,
+                            jitter: cfg.jitter,
+                            straggler_spread: cfg.straggler_spread,
+                            seed: cfg.seed,
+                            record_timeline: cfg.record_timeline,
+                            faults,
+                            stalls,
+                            checkpoint: cfg.checkpoint,
+                            ckpts,
+                        },
+                        out,
+                        inp,
+                    );
+                    let mut failed = None;
+                    for iter in 0..cfg.iterations {
+                        if let Err(e) = rt.run_iteration(program, iter) {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                    rt.poison_links();
+                    (rt, failed)
+                }));
+                // Every worker reaches the barrier, panicked or not (a
+                // panicking device lost its halves in the unwind and
+                // cannot poison, but it must not leave the others parked).
+                settle.wait();
+                match outcome {
+                    Ok((rt, None)) => Ok(rt.finish()),
+                    Ok((rt, Some(e))) => {
+                        drop(rt);
+                        Err(e)
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
                 }
-                Ok(rt.finish())
             }));
         }
         for (d, h) in handles.into_iter().enumerate() {
@@ -233,7 +277,15 @@ pub fn run_with_faults(
         .iter()
         .min_by_key(|e| (e.priority(), e.device().index()))
     {
-        return Err(root.clone());
+        let mut root = root.clone();
+        // Stamp the recovery context on the attribution: where a resume
+        // would restart, and which correlated group (if any) the fault
+        // belongs to.
+        if let EmuError::Fault(report) = &mut root {
+            report.last_checkpoint = ckpts.cluster_saved();
+            report.group = plan.group_of(&report.fault);
+        }
+        return Err(root);
     }
 
     let device_clocks: Vec<Nanos> = reports.iter().map(|r| r.clock).collect();
@@ -246,6 +298,10 @@ pub fn run_with_faults(
     let faults: Vec<FaultReport> = reports
         .iter()
         .flat_map(|r| r.absorbed.iter().cloned())
+        .map(|mut r| {
+            r.group = plan.group_of(&r.fault);
+            r
+        })
         .collect();
     Ok(RunReport {
         total_ns,
@@ -254,28 +310,47 @@ pub fn run_with_faults(
         peak_mem: reports.iter().map(|r| r.peak_mem).collect(),
         timeline,
         faults,
+        last_checkpoint: cfg.checkpoint.map(|_| ckpts.cluster_saved()),
+        ckpt_overhead_ns: cfg
+            .checkpoint
+            .map_or(0, |p| p.overhead_ns(cfg.iterations)),
     })
 }
 
 /// A run that survived injected faults via restarts.
 #[derive(Debug, Clone)]
 pub struct RecoveredRun {
-    /// The final, successful run.
+    /// The final, successful run (of the iterations that remained after
+    /// resuming — all of them when nothing was checkpointed).
     pub report: RunReport,
     /// Total attempts, including the successful one (1 = clean first try).
     pub attempts: u32,
     /// Structured reports of every fault that killed an attempt.
     pub fault_log: Vec<FaultReport>,
-    /// Virtual time of the whole recovery, ns: the successful run plus the
-    /// time each failed attempt burned before its fault surfaced (restart-
-    /// from-zero replays everything). `report.total_ns` alone under-reports
-    /// recovery cost by exactly that wasted work.
+    /// Virtual time of the whole recovery, ns: the final run plus the
+    /// time each failed attempt burned before its fault surfaced.
+    /// `report.total_ns` alone under-reports recovery cost by exactly
+    /// that wasted work.
     pub total_ns_with_replay: Nanos,
+    /// Iterations already covered by the checkpoint the final attempt
+    /// resumed from (0 = it restarted from scratch).
+    pub resumed_from: u32,
+    /// Iterations that completed in failed attempts but were *not*
+    /// covered by a checkpoint — executed again after the restart. This
+    /// is the work checkpointing exists to bound.
+    pub replayed_iters: u32,
+    /// Total virtual time spent writing checkpoints across all attempts,
+    /// ns — the overhead side of the checkpoint trade.
+    pub ckpt_overhead_ns: Nanos,
 }
 
 /// Runs `schedule` under `plan`, restarting after each injected-fault
-/// failure — the emulator's model of checkpoint-restart recovery. Faults
-/// fire once; a restart re-runs without the already-fired plan (the
+/// failure — the emulator's model of checkpoint-restart recovery. With a
+/// [`EmulatorConfig::checkpoint`] policy, each restart resumes from the
+/// last cluster-durable checkpoint (the failed attempt's
+/// [`FaultReport::last_checkpoint`]) and only runs the remaining
+/// iterations; without one it restarts from iteration 0. Faults fire
+/// once; a restart re-runs without the already-fired plan (the
 /// replacement device / healed link). Non-injected errors (real OOM, real
 /// deadlock) propagate immediately: restarting cannot fix a broken
 /// schedule. At most `max_restarts` restarts are attempted.
@@ -289,22 +364,42 @@ pub fn run_with_recovery(
     let mut fault_log: Vec<FaultReport> = Vec::new();
     let mut attempts = 0;
     let mut active = plan.clone();
+    // Iterations durably checkpointed by failed attempts: the next
+    // attempt picks up after them.
+    let mut completed: u32 = 0;
+    let mut replayed: u32 = 0;
+    let mut failed_overhead: Nanos = 0;
     loop {
         attempts += 1;
-        match run_with_faults(schedule, cost, cfg, &active) {
+        let attempt_cfg = EmulatorConfig {
+            iterations: cfg.iterations - completed,
+            ..cfg
+        };
+        match run_with_faults(schedule, cost, attempt_cfg, &active) {
             Ok(report) => {
                 // Each failed attempt ran up to its fault's virtual time
                 // before being thrown away; charge that replay cost.
                 let wasted: Nanos = fault_log.iter().map(|r| r.vtime).sum();
                 return Ok(RecoveredRun {
                     total_ns_with_replay: report.total_ns + wasted,
+                    ckpt_overhead_ns: failed_overhead + report.ckpt_overhead_ns,
                     report,
                     attempts,
                     fault_log,
+                    resumed_from: completed,
+                    replayed_iters: replayed,
                 });
             }
             Err(EmuError::Fault(report)) if attempts <= max_restarts => {
-                fault_log.push(report);
+                // The attempt's durable progress survives; everything past
+                // the checkpoint is replayed by the next attempt.
+                let saved = report.last_checkpoint;
+                replayed += report.iteration.saturating_sub(saved);
+                completed += saved;
+                if let Some(policy) = cfg.checkpoint {
+                    failed_overhead += policy.overhead_ns(saved);
+                }
+                fault_log.push(*report);
                 // The faulted component is replaced/healed: the remaining
                 // attempts run fault-free.
                 active = FaultPlan::none();
@@ -460,6 +555,8 @@ mod tests {
             peak_mem: vec![10, 30, 20],
             timeline: vec![],
             faults: vec![],
+            last_checkpoint: None,
+            ckpt_overhead_ns: 0,
         };
         assert!((r.throughput(128) - 64.0).abs() < 1e-9);
         assert_eq!(r.max_peak_mem(), 30);
@@ -614,6 +711,149 @@ mod tests {
         };
         let err = run_with_recovery(&s, &unit(), cfg, &FaultPlan::none(), 3).unwrap_err();
         assert!(err.is_oom(), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_writes_are_charged_and_recorded() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let cfg = EmulatorConfig {
+            iterations: 6,
+            ..Default::default()
+        };
+        let clean = run(&s, &unit(), cfg).unwrap();
+        assert_eq!(clean.last_checkpoint, None);
+        assert_eq!(clean.ckpt_overhead_ns, 0);
+        let ck = run(
+            &s,
+            &unit(),
+            EmulatorConfig {
+                checkpoint: Some(mario_ir::CheckpointPolicy::every(2).with_write_ns(500)),
+                ..cfg
+            },
+        )
+        .unwrap();
+        // 3 writes of 500 ns on every device, all in parallel: the run is
+        // exactly the write overhead slower.
+        assert_eq!(ck.last_checkpoint, Some(6));
+        assert_eq!(ck.ckpt_overhead_ns, 1_500);
+        assert_eq!(ck.total_ns, clean.total_ns + 1_500);
+        // A zero-cost policy is timing-neutral.
+        let free = run(
+            &s,
+            &unit(),
+            EmulatorConfig {
+                checkpoint: Some(mario_ir::CheckpointPolicy::every(2)),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(free.device_clocks, clean.device_clocks);
+        assert_eq!(free.last_checkpoint, Some(6));
+    }
+
+    #[test]
+    fn checkpoint_buffer_counts_against_capacity() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::GPipe, 2, 8));
+        // GPipe device 0 peaks at 8 B of activations; the serialization
+        // buffer alone then busts a 9 B capacity at the boundary.
+        let cfg = EmulatorConfig {
+            mem_capacity: Some(9),
+            checkpoint: Some(
+                mario_ir::CheckpointPolicy::every(1).with_mem_overhead(15),
+            ),
+            watchdog: Duration::from_millis(300),
+            ..Default::default()
+        };
+        let err = run(&s, &unit(), cfg).unwrap_err();
+        assert!(err.is_oom(), "{err}");
+        // With headroom for the buffer the run completes.
+        let ok = run(
+            &s,
+            &unit(),
+            EmulatorConfig {
+                mem_capacity: Some(24),
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(ok.last_checkpoint, Some(1));
+        assert_eq!(ok.max_peak_mem(), 15);
+    }
+
+    #[test]
+    fn crash_report_names_the_last_cluster_checkpoint() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let plan = FaultPlan::none()
+            .with(FaultKind::Crash {
+                device: DeviceId(2),
+                pc: 5,
+            })
+            .at_iteration(3);
+        let cfg = EmulatorConfig {
+            iterations: 6,
+            checkpoint: Some(mario_ir::CheckpointPolicy::every(2).with_write_ns(500)),
+            ..fast(EmulatorConfig::default())
+        };
+        let err = run_with_faults(&s, &unit(), cfg, &plan).unwrap_err();
+        let report = err.fault_report().expect("fault attribution");
+        assert_eq!(report.iteration, 3);
+        // Every device completed iterations 0..=2 before the crash could
+        // block it, so the end-of-iteration-1 checkpoint (covering 2
+        // iterations) is durable cluster-wide; the end-of-iteration-3
+        // write never completed anywhere.
+        assert_eq!(report.last_checkpoint, 2);
+    }
+
+    #[test]
+    fn recovery_resumes_from_the_last_checkpoint() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let plan = FaultPlan::none()
+            .with(FaultKind::Crash {
+                device: DeviceId(2),
+                pc: 5,
+            })
+            .at_iteration(3);
+        let base = EmulatorConfig {
+            iterations: 6,
+            ..fast(EmulatorConfig::default())
+        };
+        let policy = mario_ir::CheckpointPolicy::every(2).with_write_ns(500);
+        let with_ck = EmulatorConfig {
+            checkpoint: Some(policy),
+            ..base
+        };
+        let rec = run_with_recovery(&s, &unit(), with_ck, &plan, 3).expect("recovers");
+        assert_eq!(rec.attempts, 2);
+        assert_eq!(rec.resumed_from, 2);
+        // The checkpoint covers iterations 0-1; iteration 2 completed
+        // everywhere but was not yet saved when iteration 3 crashed, so
+        // exactly one completed iteration is executed again.
+        assert_eq!(rec.replayed_iters, 1);
+        // The final attempt is literally a fresh run of the remaining 4
+        // iterations under the same policy.
+        let fresh = run(
+            &s,
+            &unit(),
+            EmulatorConfig {
+                iterations: 4,
+                ..with_ck
+            },
+        )
+        .unwrap();
+        assert_eq!(rec.report.device_clocks, fresh.device_clocks);
+        // Checkpoint overhead is reported across all attempts: 1 durable
+        // write in the failed attempt + 2 in the final one.
+        assert_eq!(rec.ckpt_overhead_ns, 3 * 500);
+        // And resuming beats restarting from zero under the same plan.
+        let from_zero = run_with_recovery(&s, &unit(), base, &plan, 3).expect("recovers");
+        assert_eq!(from_zero.resumed_from, 0);
+        assert_eq!(from_zero.replayed_iters, 3);
+        assert!(
+            rec.total_ns_with_replay < from_zero.total_ns_with_replay,
+            "resume {} !< restart {}",
+            rec.total_ns_with_replay,
+            from_zero.total_ns_with_replay
+        );
     }
 
     #[test]

@@ -4,7 +4,10 @@ pub mod memsim;
 pub mod timeline;
 
 pub use memsim::{memory_series, simulate_memory, MemReport, MemSeries, OomAt};
-pub use timeline::{simulate_timeline, simulate_timeline_with, SimError, SimEvent, SimTimeline};
+pub use timeline::{
+    simulate_timeline, simulate_timeline_iters, simulate_timeline_with, SimError, SimEvent,
+    SimTimeline,
+};
 
 use mario_ir::{CostModel, Schedule};
 use serde::{Deserialize, Serialize};

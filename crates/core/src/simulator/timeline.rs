@@ -138,15 +138,37 @@ pub fn simulate_timeline_with(
     channel_capacity: usize,
     profile: &PerturbationProfile,
 ) -> Result<SimTimeline, SimError> {
+    simulate_timeline_iters(schedule, cost, channel_capacity, profile, 1)
+}
+
+/// [`simulate_timeline_with`] over `iterations` back-to-back training
+/// iterations, mirroring the emulator's multi-iteration runs: device
+/// clocks and channel state persist across the iteration boundary (the
+/// next iteration's warmup overlaps the previous flush, exactly as the
+/// threaded devices do), while per-pair packet numbering and the
+/// profile's iteration-scoped windows reset each iteration.
+pub fn simulate_timeline_iters(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    channel_capacity: usize,
+    profile: &PerturbationProfile,
+    iterations: u32,
+) -> Result<SimTimeline, SimError> {
     assert!(channel_capacity >= 1);
+    assert!(iterations >= 1);
     let devices = schedule.devices() as usize;
-    let mut pc = vec![0usize; devices];
+    // Global instruction cursor per device: local pc = gpc % len,
+    // iteration = gpc / len.
+    let mut gpc = vec![0usize; devices];
     let mut clocks = vec![0u64; devices];
     let mut chans: HashMap<(u32, u32, MsgClass, u32), Channel> = HashMap::new();
-    // Packets sent per (src, dst) pair so far, all classes and parts in
-    // program order — the emulator's link-fault packet numbering.
+    // Packets sent per (src, dst) pair *this iteration*, all classes and
+    // parts in program order — the emulator's link-fault packet
+    // numbering, which resets every iteration.
     let mut sends_to: Vec<HashMap<u32, usize>> = vec![HashMap::new(); devices];
-    let mut events: Vec<SimEvent> = Vec::with_capacity(schedule.total_instrs());
+    let mut cur_iter = vec![0u32; devices];
+    let mut events: Vec<SimEvent> =
+        Vec::with_capacity(schedule.total_instrs() * iterations as usize);
 
     let class_of = |k: &InstrKind| match k {
         InstrKind::SendAct { .. } | InstrKind::RecvAct { .. } => MsgClass::Act,
@@ -159,9 +181,17 @@ pub fn simulate_timeline_with(
         for d in 0..devices {
             let dev = DeviceId(d as u32);
             let prog = schedule.program(dev);
-            let Some(&instr) = prog.instrs().get(pc[d]) else {
+            let len = prog.len();
+            if len == 0 || gpc[d] >= len * iterations as usize {
                 continue;
-            };
+            }
+            let lpc = gpc[d] % len;
+            let iter = (gpc[d] / len) as u32;
+            if iter != cur_iter[d] {
+                cur_iter[d] = iter;
+                sends_to[d].clear();
+            }
+            let &instr = &prog.instrs()[lpc];
             all_done = false;
             let start = clocks[d];
             let fired_now = match instr.kind {
@@ -170,7 +200,8 @@ pub fn simulate_timeline_with(
                 | InstrKind::BackwardInput
                 | InstrKind::BackwardWeight
                 | InstrKind::Recompute => {
-                    clocks[d] += profile.scaled_compute(dev, pc[d], cost.duration(dev, &instr));
+                    clocks[d] +=
+                        profile.scaled_compute(dev, iter, lpc, cost.duration(dev, &instr));
                     true
                 }
                 InstrKind::AllReduce => {
@@ -212,7 +243,7 @@ pub fn simulate_timeline_with(
                         *c += 1;
                         n
                     };
-                    let extra = profile.link_extra(dev, peer, nth);
+                    let extra = profile.link_extra(dev, peer, iter, nth);
                     ch.queue.push_back((id, clocks[d] + extra));
                     ch.outstanding += 1;
                     true
@@ -251,7 +282,7 @@ pub fn simulate_timeline_with(
                     start,
                     end: clocks[d],
                 });
-                pc[d] += 1;
+                gpc[d] += 1;
                 fired = true;
             }
         }
@@ -261,9 +292,13 @@ pub fn simulate_timeline_with(
         if !fired {
             let blocked: Vec<String> = (0..devices)
                 .filter_map(|d| {
-                    schedule.programs()[d]
-                        .get(pc[d])
-                        .map(|i| format!("d{d}#{}: {i}", pc[d]))
+                    let prog = &schedule.programs()[d];
+                    if prog.is_empty() || gpc[d] >= prog.len() * iterations as usize {
+                        return None;
+                    }
+                    let lpc = gpc[d] % prog.len();
+                    prog.get(lpc)
+                        .map(|i| format!("d{d}#{lpc} iter {}: {i}", gpc[d] / prog.len()))
                 })
                 .collect();
             return Err(SimError::Deadlock(blocked.join(", ")));
@@ -368,6 +403,7 @@ mod tests {
             dst: DeviceId(1),
             nth: None,
             extra_ns: 10_000,
+            iteration: None,
         });
         let degr =
             simulate_timeline_with(&s, &UnitCost::paper_grid(), 1, &profile).unwrap();
@@ -387,17 +423,65 @@ mod tests {
             dst: DeviceId(1),
             nth: None,
             extra_ns: 3_000,
+            iteration: None,
         });
         let one = PerturbationProfile::identity().with_link_slack(mario_ir::LinkSlack {
             src: DeviceId(0),
             dst: DeviceId(1),
             nth: Some(0),
             extra_ns: 3_000,
+            iteration: None,
         });
         let t_all = simulate_timeline_with(&s, &UnitCost::paper_grid(), 1, &all).unwrap();
         let t_one = simulate_timeline_with(&s, &UnitCost::paper_grid(), 1, &one).unwrap();
         let t_base = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
         assert!(t_one.total_ns >= t_base.total_ns);
         assert!(t_all.total_ns >= t_one.total_ns);
+    }
+
+    #[test]
+    fn multi_iteration_simulation_matches_single_iteration_structure() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 4));
+        let one = simulate_timeline(&s, &UnitCost::paper_grid(), 1).unwrap();
+        let three = simulate_timeline_iters(
+            &s,
+            &UnitCost::paper_grid(),
+            1,
+            &PerturbationProfile::identity(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(three.events.len(), 3 * s.total_instrs());
+        // Back-to-back iterations overlap across the boundary, so the
+        // makespan is at least 2 but at most 3 single-iteration spans.
+        assert!(three.total_ns >= 2 * one.total_ns);
+        assert!(three.total_ns <= 3 * one.total_ns);
+    }
+
+    #[test]
+    fn iteration_scoped_straggler_slows_only_its_iteration() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 4));
+        let base = simulate_timeline_iters(
+            &s,
+            &UnitCost::paper_grid(),
+            1,
+            &PerturbationProfile::identity(),
+            3,
+        )
+        .unwrap();
+        let scoped = PerturbationProfile::identity().with_slowdown(mario_ir::SlowdownWindow {
+            device: DeviceId(0),
+            factor: 3.0,
+            from_pc: 0,
+            until_pc: usize::MAX,
+            iteration: Some(1),
+        });
+        let always = PerturbationProfile::identity().with_straggler(DeviceId(0), 3.0);
+        let t_scoped =
+            simulate_timeline_iters(&s, &UnitCost::paper_grid(), 1, &scoped, 3).unwrap();
+        let t_always =
+            simulate_timeline_iters(&s, &UnitCost::paper_grid(), 1, &always, 3).unwrap();
+        assert!(t_scoped.total_ns > base.total_ns);
+        assert!(t_always.total_ns > t_scoped.total_ns);
     }
 }

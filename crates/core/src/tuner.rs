@@ -7,7 +7,10 @@
 
 use crate::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
 use crate::simulator::{simulate_memory, simulate_timeline, simulate_timeline_with, SimError};
-use mario_ir::{PerturbationProfile, Schedule, SchemeKind, Topology};
+use mario_cluster::FaultPlan;
+use mario_ir::{
+    min_channel_capacity, CheckpointPolicy, PerturbationProfile, Schedule, SchemeKind, Topology,
+};
 use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
 use mario_schedules::{generate, ScheduleConfig};
 use serde::{Deserialize, Serialize};
@@ -74,6 +77,13 @@ pub struct TunerConfig {
     /// that only wins on a pristine cluster cannot be selected over one
     /// that absorbs the known straggler.
     pub perturbation: Option<PerturbationProfile>,
+    /// Anticipated fault environment for checkpoint-interval tuning. When
+    /// set, [`tune`] derives a Young/Daly-optimal [`CheckpointPolicy`] for
+    /// the winning candidate and reports it on
+    /// [`TuneResult::checkpoint_policy`]; when the plan carries no hard
+    /// fault, no policy is emitted (checkpointing a fault-free run only
+    /// costs write time).
+    pub checkpoint: Option<CheckpointTuning>,
 }
 
 impl TunerConfig {
@@ -92,8 +102,67 @@ impl TunerConfig {
             prepose: true,
             validate_on_emulator: false,
             perturbation: None,
+            checkpoint: None,
         }
     }
+}
+
+/// Inputs for checkpoint-interval tuning: the anticipated fault
+/// environment plus the per-checkpoint costs the emulator will charge
+/// (see `mario_ir::CheckpointPolicy`).
+#[derive(Debug, Clone)]
+pub struct CheckpointTuning {
+    /// The fault plan the run is expected to face; its hard-fault count
+    /// over [`CheckpointTuning::total_iters`] sets the failure rate λ.
+    pub plan: FaultPlan,
+    /// Planned run length, iterations.
+    pub total_iters: u32,
+    /// Cost of writing one checkpoint, ns (the Young/Daly `C`).
+    pub write_ns: u64,
+    /// Transient serialization-buffer size charged at each boundary,
+    /// bytes (forwarded onto the emitted policy).
+    pub mem_overhead: u64,
+}
+
+/// The Young/Daly optimal checkpoint interval, in iterations:
+/// `k* = sqrt(2·C / (T·λ))` where `C` is the checkpoint write cost, `T`
+/// the iteration time and `λ` the expected hard faults per iteration.
+/// Rounded to the nearest whole interval and clamped to
+/// `[1, total_iters]`; `None` when the fault rate is zero (no fault ⇒
+/// checkpoints are pure overhead) or the run is empty.
+pub fn daly_interval(
+    iter_ns: u64,
+    write_ns: u64,
+    faults_per_iter: f64,
+    total_iters: u32,
+) -> Option<u32> {
+    if total_iters == 0 || faults_per_iter <= 0.0 || iter_ns == 0 {
+        return None;
+    }
+    let k = (2.0 * write_ns as f64 / (iter_ns as f64 * faults_per_iter)).sqrt();
+    Some((k.round() as u32).clamp(1, total_iters))
+}
+
+/// Derives the [`CheckpointPolicy`] [`tune`] attaches to its winner:
+/// Young/Daly with `λ = hard_faults / total_iters`. `None` when the plan
+/// carries no hard fault — absorbable faults (jitter, link slowdowns) are
+/// survived in place and never force a restart, so they contribute
+/// nothing to the failure rate.
+pub fn tune_checkpoint_interval(
+    iter_ns: u64,
+    tuning: &CheckpointTuning,
+) -> Option<CheckpointPolicy> {
+    let hard = tuning.plan.hard_faults();
+    if hard == 0 || tuning.total_iters == 0 {
+        return None;
+    }
+    let lambda = hard as f64 / tuning.total_iters as f64;
+    let k = daly_interval(iter_ns, tuning.write_ns, lambda, tuning.total_iters)?;
+    Some(
+        CheckpointPolicy::every(k)
+            .with_write_ns(tuning.write_ns)
+            .with_mem_overhead(tuning.mem_overhead),
+    )
 }
 
 /// Upper bound on emulator runs [`tune`] spends validating candidates when
@@ -219,6 +288,11 @@ pub struct TuneResult {
     /// Candidates that looked best but failed emulator validation, with
     /// the cause (empty unless [`TunerConfig::validate_on_emulator`]).
     pub rejected: Vec<(Candidate, CandidateFailure)>,
+    /// The Young/Daly checkpoint policy for the winner, derived from
+    /// [`TunerConfig::checkpoint`] and the winner's simulated iteration
+    /// time. `None` when no tuning inputs were given or the fault plan
+    /// carries no hard fault.
+    pub checkpoint_policy: Option<CheckpointPolicy>,
     /// Wall-clock time of the search.
     pub tuning_time: Duration,
 }
@@ -245,8 +319,15 @@ pub fn topology_of(scheme: SchemeKind, pp: u32) -> Topology {
     Topology::new(scheme, pp)
 }
 
-/// Channel buffer depth a scheme needs under blocking p2p (see the
-/// experiment harness for the rationale).
+/// Channel buffer depth a scheme is known to need under blocking p2p, as
+/// a closed-form **upper bound** per scheme family. The tuner no longer
+/// uses this table directly — [`build_schedule`] derives the minimal
+/// sufficient capacity from the concrete schedule's send/recv order
+/// (`mario_ir::min_channel_capacity`), which can be smaller (e.g. small
+/// Chimera instances run at capacity 1) — but the table is kept as the
+/// debug-assertion ceiling on the derivation and as the conservative
+/// fallback for schedules whose capacity cannot be proven within the
+/// probe range.
 pub fn scheme_channel_capacity(scheme: SchemeKind) -> usize {
     match scheme {
         SchemeKind::Wave { .. } | SchemeKind::Chimera => 2,
@@ -298,7 +379,6 @@ fn build_schedule(
     cand: Candidate,
     micros: u32,
 ) -> (Schedule, AnalyticCost, usize) {
-    let cap = cfg.channel_capacity.max(scheme_channel_capacity(cand.scheme));
     let topo = topology_of(cand.scheme, cand.pp);
     let setup = TrainSetup::pipeline(model.clone(), gpu.clone(), topo, cand.mbs)
         .with_dp(cand.dp);
@@ -306,6 +386,19 @@ fn build_schedule(
     let mut schedule = generate(
         ScheduleConfig::new(cand.scheme, cand.pp, micros).allreduce(cand.dp > 1),
     );
+    // Minimal sufficient buffer depth, proven by symbolic execution of
+    // this exact schedule (timing-independent, so it holds under any cost
+    // model). The per-scheme table is the ceiling: a derivation above it
+    // would mean the closed-form bound is wrong.
+    let derived = min_channel_capacity(&schedule)
+        .unwrap_or_else(|| scheme_channel_capacity(cand.scheme));
+    debug_assert!(
+        derived <= scheme_channel_capacity(cand.scheme),
+        "{:?}: derived capacity {derived} exceeds the scheme table's {}",
+        cand.scheme,
+        scheme_channel_capacity(cand.scheme)
+    );
+    let cap = cfg.channel_capacity.max(derived);
     if cand.mario {
         let opts = GraphTunerOptions {
             prepose: cfg.prepose,
@@ -318,6 +411,13 @@ fn build_schedule(
         };
         run_graph_tuner(&mut schedule, &cost, opts);
     }
+    // The graph tuner must keep the schedule executable at the capacity
+    // its prepose pass was given.
+    debug_assert!(
+        min_channel_capacity(&schedule).is_some_and(|c| c <= cap),
+        "graph tuner raised the capacity requirement of {} above {cap}",
+        cand
+    );
     (schedule, cost, cap)
 }
 
@@ -466,10 +566,15 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
         best = order.first().map(|&i| curve[i].clone());
     }
     let best = best.ok_or(TuneError::NoFeasibleConfig)?;
+    let checkpoint_policy = cfg
+        .checkpoint
+        .as_ref()
+        .and_then(|t| tune_checkpoint_interval(best.iter_ns, t));
     Ok(TuneResult {
         best,
         curve,
         rejected,
+        checkpoint_policy,
         tuning_time: started.elapsed(),
     })
 }
@@ -707,9 +812,9 @@ mod tests {
     fn channel_capacity_flows_through_the_single_build_path() {
         // Regression: the effective capacity used to be computed in three
         // places (`evaluate`, `build_schedule`, `validate_candidate`) and
-        // could diverge. It now exists only inside `build_schedule`;
-        // Chimera and Wave must come back with capacity >= 2 even when the
-        // tuner config asks for less.
+        // could diverge. It now exists only inside `build_schedule`, which
+        // derives the minimal sufficient depth from the concrete schedule
+        // instead of the per-scheme table; the table stays the ceiling.
         let model = ModelConfig::gpt3_1_6b();
         let gpu = GpuSpec::a100_40g();
         let cfg = TunerConfig {
@@ -719,20 +824,52 @@ mod tests {
         for (scheme, pp, mbs) in [
             (SchemeKind::Chimera, 8u32, 1u32),
             (SchemeKind::Wave { chunks: 2 }, 8, 1),
+            (SchemeKind::OneFOneB, 8, 1),
         ] {
             let cand = Candidate {
                 scheme,
                 pp,
                 dp: 1,
                 mbs,
-                mario: true,
+                mario: scheme != SchemeKind::OneFOneB,
             };
             let micros = admissible(&model, &cand, 32).expect("admissible");
             let (_, _, cap) = build_schedule(&model, &gpu, &cfg, cand, micros);
-            assert!(cap >= 2, "{scheme:?}: effective capacity {cap}");
-            assert_eq!(cap, scheme_channel_capacity(scheme));
+            // The derivation is the single source of truth: the effective
+            // capacity equals the proven minimum of this exact schedule
+            // (floored by the configured depth), never above the table.
+            let expected = mario_ir::min_channel_capacity(&generate(
+                ScheduleConfig::new(scheme, pp, micros),
+            ))
+            .expect("schedule is executable within the probe range");
+            assert_eq!(cap, expected.max(cfg.channel_capacity), "{scheme:?}");
+            assert!(cap <= scheme_channel_capacity(scheme), "{scheme:?}: {cap}");
         }
-        // Schemes with no floor keep the configured depth.
+        // The derivation can beat the table: this Chimera instance proves
+        // executable at depth 1 even though the closed-form bound says 2 —
+        // and the threaded emulator agrees, completing at the derived
+        // depth. The table survives only as the derivation's ceiling.
+        let cand = Candidate {
+            scheme: SchemeKind::Chimera,
+            pp: 8,
+            dp: 1,
+            mbs: 1,
+            mario: false,
+        };
+        let micros = admissible(&model, &cand, 32).unwrap();
+        let (schedule, cost, cap) = build_schedule(&model, &gpu, &cfg, cand, micros);
+        assert_eq!(cap, 1);
+        let emu = mario_cluster::run(
+            &schedule,
+            &cost,
+            mario_cluster::EmulatorConfig {
+                channel_capacity: cap,
+                ..Default::default()
+            },
+        )
+        .expect("emulator completes at the derived capacity");
+        assert!(emu.total_ns > 0);
+        // A configured depth above the derived minimum is respected.
         let cand = Candidate {
             scheme: SchemeKind::OneFOneB,
             pp: 8,
@@ -741,14 +878,100 @@ mod tests {
             mario: false,
         };
         let micros = admissible(&model, &cand, 32).unwrap();
-        let (_, _, cap) = build_schedule(&model, &gpu, &cfg, cand, micros);
-        assert_eq!(cap, 1);
         let wide = TunerConfig {
             channel_capacity: 4,
             ..small_cfg()
         };
         let (_, _, cap) = build_schedule(&model, &gpu, &wide, cand, micros);
         assert_eq!(cap, 4);
+    }
+
+    #[test]
+    fn daly_interval_tracks_cost_and_rate() {
+        // Pricier checkpoints stretch the interval...
+        let cheap = daly_interval(1000, 100, 0.1, 100).unwrap();
+        let pricey = daly_interval(1000, 10_000, 0.1, 100).unwrap();
+        assert!(pricey > cheap, "{pricey} vs {cheap}");
+        // ...while a higher fault rate shrinks it.
+        let calm = daly_interval(1000, 1000, 0.01, 100).unwrap();
+        let stormy = daly_interval(1000, 1000, 1.0, 100).unwrap();
+        assert!(stormy < calm, "{stormy} vs {calm}");
+        // Free checkpoints saturate at "every iteration"; the clamp keeps
+        // the interval within the run.
+        assert_eq!(daly_interval(1000, 0, 0.5, 100), Some(1));
+        assert_eq!(daly_interval(10, 1 << 40, 0.001, 12), Some(12));
+        // No faults or no run: nothing to tune.
+        assert_eq!(daly_interval(1000, 100, 0.0, 100), None);
+        assert_eq!(daly_interval(1000, 100, 0.5, 0), None);
+    }
+
+    #[test]
+    fn checkpoint_tuner_needs_a_hard_fault() {
+        use mario_cluster::FaultKind;
+        use mario_ir::DeviceId;
+        let mut tuning = CheckpointTuning {
+            plan: FaultPlan::none(),
+            total_iters: 32,
+            write_ns: 5_000,
+            mem_overhead: 128,
+        };
+        // An empty plan — and a plan of only absorbable faults — yields no
+        // policy: nothing ever forces a restart.
+        assert!(tune_checkpoint_interval(10_000, &tuning).is_none());
+        tuning.plan = FaultPlan::none().with(FaultKind::Slowdown {
+            device: DeviceId(0),
+            factor: 4.0,
+            from_pc: 0,
+            until_pc: 8,
+        });
+        assert!(tune_checkpoint_interval(10_000, &tuning).is_none());
+        // One crash over the run sets λ = 1/32 and produces a real policy
+        // carrying the configured costs.
+        tuning.plan = FaultPlan::none().with(FaultKind::Crash {
+            device: DeviceId(1),
+            pc: 3,
+        });
+        let policy = tune_checkpoint_interval(10_000, &tuning).unwrap();
+        assert!(policy.interval_iters >= 1 && policy.interval_iters <= 32);
+        assert_eq!(policy.write_ns, 5_000);
+        assert_eq!(policy.mem_overhead, 128);
+        // And it matches the raw Young/Daly formula.
+        assert_eq!(
+            policy.interval_iters,
+            daly_interval(10_000, 5_000, 1.0 / 32.0, 32).unwrap()
+        );
+    }
+
+    #[test]
+    fn tune_reports_a_checkpoint_policy_when_faults_are_anticipated() {
+        use mario_cluster::FaultKind;
+        use mario_ir::DeviceId;
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        // Default config: no tuning inputs, no policy.
+        let r = tune(&model, &gpu, &small_cfg()).unwrap();
+        assert!(r.checkpoint_policy.is_none());
+        // With an anticipated crash the winner gets a Young/Daly policy
+        // derived from its own simulated iteration time.
+        let cfg = TunerConfig {
+            checkpoint: Some(CheckpointTuning {
+                plan: FaultPlan::none().with(FaultKind::Crash {
+                    device: DeviceId(0),
+                    pc: 0,
+                }),
+                total_iters: 64,
+                write_ns: 2_000_000,
+                mem_overhead: 0,
+            }),
+            ..small_cfg()
+        };
+        let r = tune(&model, &gpu, &cfg).unwrap();
+        let policy = r.checkpoint_policy.expect("policy for a faulty plan");
+        assert!(policy.interval_iters >= 1 && policy.interval_iters <= 64);
+        assert_eq!(
+            policy.interval_iters,
+            daly_interval(r.best.iter_ns, 2_000_000, 1.0 / 64.0, 64).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Validates the analytic Young/Daly checkpoint-interval tuner against a
+//! brute-force sweep on the cluster emulator: for a fixed fault
+//! environment, the predicted optimum must land within one interval step
+//! of the interval that actually minimizes end-to-end recovery cost.
+
+use mario_cluster::{run, run_with_recovery, EmulatorConfig, FaultKind, FaultPlan};
+use mario_core::tuner::{tune_checkpoint_interval, CheckpointTuning};
+use mario_ir::{CheckpointPolicy, DeviceId, SchemeKind, UnitCost};
+use mario_schedules::{generate, ScheduleConfig};
+use std::time::Duration;
+
+const ITERS: u32 = 12;
+
+fn fast(cfg: EmulatorConfig) -> EmulatorConfig {
+    EmulatorConfig {
+        watchdog: Duration::from_millis(300),
+        ..cfg
+    }
+}
+
+#[test]
+fn daly_interval_matches_the_brute_force_emulator_sweep() {
+    let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 2, 2));
+    let cost = UnitCost::paper_grid();
+    let iter_ns = run(&s, &cost, fast(EmulatorConfig::default()))
+        .expect("clean run")
+        .total_ns;
+    // One hard fault over the run (λ = 1/12) and a write cost of T/6
+    // place the Young/Daly optimum k* = sqrt(2C/(Tλ)) at exactly 2.
+    let write_ns = iter_ns / 6;
+
+    // Twelve crash scenarios, one per iteration, at a seeded site.
+    let scenarios: Vec<FaultPlan> = (0..ITERS)
+        .map(|f| {
+            let device = DeviceId(f % 2);
+            let len = s.programs()[device.index()].len() as u32;
+            FaultPlan::none()
+                .with(FaultKind::Crash {
+                    device,
+                    pc: ((f * 7) % len) as usize,
+                })
+                .at_iteration(f)
+        })
+        .collect();
+
+    // Brute force: total recovery cost of every candidate interval,
+    // summed over the scenarios (equal weighting = the uniform fault
+    // distribution the analytic model assumes).
+    let mut best = (u128::MAX, 0u32);
+    for k in 1..=ITERS {
+        let cfg = fast(EmulatorConfig {
+            iterations: ITERS,
+            checkpoint: Some(CheckpointPolicy::every(k).with_write_ns(write_ns)),
+            ..Default::default()
+        });
+        let total: u128 = scenarios
+            .iter()
+            .map(|plan| {
+                run_with_recovery(&s, &cost, cfg, plan, 3)
+                    .expect("recovery completes")
+                    .total_ns_with_replay as u128
+            })
+            .sum();
+        if total < best.0 {
+            best = (total, k);
+        }
+    }
+    let brute_k = best.1;
+
+    // The analytic tuner, fed the same fault environment and costs.
+    let tuning = CheckpointTuning {
+        plan: scenarios[0].clone(),
+        total_iters: ITERS,
+        write_ns,
+        mem_overhead: 0,
+    };
+    let policy =
+        tune_checkpoint_interval(iter_ns, &tuning).expect("a hard fault yields a policy");
+    assert!(policy.interval_iters >= 1 && policy.interval_iters <= ITERS);
+    assert!(
+        (policy.interval_iters as i64 - brute_k as i64).abs() <= 1,
+        "Young/Daly predicts {} but the sweep found {brute_k}",
+        policy.interval_iters
+    );
+}

@@ -1,0 +1,124 @@
+//! Model-state checkpointing policy.
+//!
+//! Mario's activation checkpointing (the paper's subject) trades compute
+//! for memory *within* an iteration; this module models the orthogonal
+//! *model-state* checkpointing a production training system layers on
+//! top so a fault does not erase the whole run. A [`CheckpointPolicy`]
+//! makes the checkpoint write a first-class scheduled cost — every
+//! `interval_iters` iterations each device pays `write_ns` of wall time
+//! and a transient `mem_overhead` serialization buffer — instead of an
+//! out-of-band fudge factor. The cluster emulator charges these costs on
+//! checkpoint iterations and its recovery loop resumes from the last
+//! checkpoint that completed on *every* device (a checkpoint is durable
+//! only when the whole cluster wrote it).
+
+use crate::cost::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Periodic model-state checkpointing: every `interval_iters` completed
+/// iterations, each device writes a checkpoint costing `write_ns` of
+/// virtual time and a transient `mem_overhead`-byte serialization buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Iterations between checkpoints (>= 1). A checkpoint is written at
+    /// the end of iteration `i` whenever `(i + 1)` is a multiple of this.
+    pub interval_iters: u32,
+    /// Virtual time one device spends writing a checkpoint, ns (the
+    /// serialize-and-flush cost on the training critical path).
+    pub write_ns: Nanos,
+    /// Transient serialization-buffer bytes held while writing (counted
+    /// against device capacity and released when the write completes).
+    pub mem_overhead: u64,
+}
+
+impl CheckpointPolicy {
+    /// A free policy checkpointing every `interval_iters` iterations.
+    ///
+    /// # Panics
+    /// Panics when `interval_iters` is zero.
+    pub fn every(interval_iters: u32) -> Self {
+        assert!(interval_iters >= 1, "checkpoint interval must be >= 1");
+        Self {
+            interval_iters,
+            write_ns: 0,
+            mem_overhead: 0,
+        }
+    }
+
+    /// Sets the per-checkpoint write cost.
+    pub fn with_write_ns(mut self, write_ns: Nanos) -> Self {
+        self.write_ns = write_ns;
+        self
+    }
+
+    /// Sets the transient serialization-buffer size.
+    pub fn with_mem_overhead(mut self, bytes: u64) -> Self {
+        self.mem_overhead = bytes;
+        self
+    }
+
+    /// True when a checkpoint is written at the end of iteration `iter`
+    /// (0-based): the first `interval_iters` iterations complete, then a
+    /// write, and so on.
+    pub fn is_boundary(&self, iter: u32) -> bool {
+        (iter + 1).is_multiple_of(self.interval_iters)
+    }
+
+    /// Iterations covered by the last checkpoint a device completed
+    /// *before* failing during iteration `fault_iter` — the largest
+    /// checkpoint boundary at or below it (0 = nothing saved yet).
+    pub fn saved_before(&self, fault_iter: u32) -> u32 {
+        (fault_iter / self.interval_iters) * self.interval_iters
+    }
+
+    /// Checkpoint writes a clean run of `iters` iterations performs.
+    pub fn writes_in(&self, iters: u32) -> u32 {
+        iters / self.interval_iters
+    }
+
+    /// Total per-device write time a clean run of `iters` iterations
+    /// spends checkpointing, ns.
+    pub fn overhead_ns(&self, iters: u32) -> Nanos {
+        self.writes_in(iters) as Nanos * self.write_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_every_interval() {
+        let p = CheckpointPolicy::every(3);
+        let written: Vec<u32> = (0..10).filter(|&i| p.is_boundary(i)).collect();
+        assert_eq!(written, vec![2, 5, 8]);
+        // Interval 1 checkpoints after every iteration.
+        let each = CheckpointPolicy::every(1);
+        assert!((0..5).all(|i| each.is_boundary(i)));
+    }
+
+    #[test]
+    fn saved_before_is_the_last_completed_boundary() {
+        let p = CheckpointPolicy::every(2);
+        assert_eq!(p.saved_before(0), 0);
+        assert_eq!(p.saved_before(1), 0);
+        assert_eq!(p.saved_before(2), 2);
+        assert_eq!(p.saved_before(3), 2);
+        assert_eq!(p.saved_before(5), 4);
+    }
+
+    #[test]
+    fn overhead_scales_with_writes() {
+        let p = CheckpointPolicy::every(4).with_write_ns(100);
+        assert_eq!(p.writes_in(3), 0);
+        assert_eq!(p.writes_in(12), 3);
+        assert_eq!(p.overhead_ns(12), 300);
+        assert_eq!(p.overhead_ns(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be >= 1")]
+    fn zero_interval_is_rejected() {
+        let _ = CheckpointPolicy::every(0);
+    }
+}

@@ -222,6 +222,20 @@ pub fn check_executable(schedule: &Schedule, channel_capacity: usize) -> Result<
     }
 }
 
+/// Smallest per-channel FIFO capacity under which `schedule` executes to
+/// completion, searched over `1..=8` (`None` when even capacity 8 cannot
+/// drain the schedule — it is unexecutable for a structural reason, not a
+/// buffering one).
+///
+/// Symbolic execution is timing-independent, so a capacity proven
+/// sufficient here is sufficient for any cost model: making instructions
+/// take time only restricts the set of interleavings, and in-order
+/// devices with FIFO links can never need *more* buffering when some
+/// firings happen later.
+pub fn min_channel_capacity(schedule: &Schedule) -> Option<usize> {
+    (1..=8).find(|&cap| check_executable(schedule, cap).is_ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,5 +386,38 @@ mod tests {
     fn empty_schedule_is_trivially_executable() {
         let s = two_device_schedule(vec![], vec![]);
         assert_eq!(check_executable(&s, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn min_capacity_finds_the_smallest_sufficient_buffer() {
+        // The head-on rendezvous from `cyclic_rendezvous_wait_is_a_deadlock`
+        // needs capacity 2.
+        let s = two_device_schedule(
+            vec![
+                Instr::send_act(0u32, 0u32, DeviceId(1)),
+                Instr::send_act(1u32, 0u32, DeviceId(1)),
+                Instr::recv_grad(0u32, 0u32, DeviceId(1)),
+            ],
+            vec![
+                Instr::send_grad(0u32, 0u32, DeviceId(0)),
+                Instr::send_grad(1u32, 0u32, DeviceId(0)),
+                Instr::recv_act(0u32, 0u32, DeviceId(0)),
+            ],
+        );
+        assert_eq!(min_channel_capacity(&s), Some(2));
+
+        // A matched pair drains at capacity 1.
+        let s = two_device_schedule(
+            vec![Instr::send_act(0u32, 0u32, DeviceId(1))],
+            vec![Instr::recv_act(0u32, 0u32, DeviceId(0))],
+        );
+        assert_eq!(min_channel_capacity(&s), Some(1));
+
+        // A structurally unmatched recv has no sufficient capacity.
+        let s = two_device_schedule(
+            vec![Instr::forward(0u32, 0u32)],
+            vec![Instr::recv_act(0u32, 0u32, DeviceId(0))],
+        );
+        assert_eq!(min_channel_capacity(&s), None);
     }
 }

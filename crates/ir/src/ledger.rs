@@ -29,6 +29,9 @@ pub enum AllocKey {
     /// Small stash kept between a split backward's input half and its
     /// weight half (the tensors the weight GEMM still needs).
     Wgrad(MicroId, PartId),
+    /// Transient serialization buffer held while writing a model-state
+    /// checkpoint (one per device; released when the write completes).
+    Snapshot,
 }
 
 /// Error raised when an allocation would exceed the device capacity.

@@ -23,11 +23,15 @@
 //! * [`perturb`] — degraded-cluster perturbation profiles (stragglers,
 //!   slow links), the shared vocabulary that keeps the simulator's
 //!   degraded mode and the emulator's fault layer bit-for-bit aligned;
+//! * [`checkpoint`] — the model-state checkpointing policy (periodic
+//!   checkpoint writes with explicit time and memory cost) the cluster
+//!   emulator charges and its recovery loop resumes from;
 //! * [`validate`] / [`exec`] — structural validation plus symbolic
 //!   execution proving schedules deadlock-free under blocking p2p.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cost;
 pub mod exec;
 pub mod ids;
@@ -41,8 +45,9 @@ pub mod text;
 pub mod topology;
 pub mod validate;
 
+pub use checkpoint::CheckpointPolicy;
 pub use cost::{ComputeKind, CostModel, Nanos, UnitCost};
-pub use exec::{check_executable, ExecError};
+pub use exec::{check_executable, min_channel_capacity, ExecError};
 pub use ids::{DeviceId, MicroId, PartId, StageId};
 pub use instr::{Instr, InstrKind, InstrTag};
 pub use ledger::{AllocKey, MemLedger, OomError};

@@ -34,6 +34,10 @@ pub struct SlowdownWindow {
     pub from_pc: usize,
     /// One past the last affected instruction index.
     pub until_pc: usize,
+    /// `Some(i)`: only iteration `i` (0-based) is slowed — the
+    /// emulator's per-iteration fault scoping. `None`: every iteration
+    /// (a persistent straggler).
+    pub iteration: Option<u32>,
 }
 
 /// Extra latency on the directed link `src -> dst`: the affected packets
@@ -46,11 +50,16 @@ pub struct LinkSlack {
     /// Receiving side of the link.
     pub dst: DeviceId,
     /// `Some(n)`: only the `n`th packet of the pair (0-based, counting
-    /// all classes and parts in the sender's program order — the
-    /// emulator's `LinkDelay` numbering). `None`: every packet.
+    /// all classes and parts in the sender's program order *within one
+    /// iteration* — the emulator's `LinkDelay` numbering, which resets
+    /// every iteration). `None`: every packet.
     pub nth: Option<usize>,
     /// Extra virtual latency, ns.
     pub extra_ns: Nanos,
+    /// `Some(i)`: only packets of iteration `i` (0-based) are delayed —
+    /// the emulator's per-iteration fault scoping. `None`: every
+    /// iteration (a persistently slow wire).
+    pub iteration: Option<u32>,
 }
 
 /// A degraded-cluster description: per-device compute slowdowns plus
@@ -89,6 +98,7 @@ impl PerturbationProfile {
             factor,
             from_pc: 0,
             until_pc: usize::MAX,
+            iteration: None,
         })
     }
 
@@ -98,23 +108,27 @@ impl PerturbationProfile {
         self
     }
 
-    /// Combined slowdown factor for instruction `pc` on `device` (the
-    /// product over matching windows; 1.0 when none match).
-    pub fn compute_factor(&self, device: DeviceId, pc: usize) -> f64 {
+    /// Combined slowdown factor for instruction `pc` of iteration `iter`
+    /// on `device` (the product over matching windows; 1.0 when none
+    /// match).
+    pub fn compute_factor(&self, device: DeviceId, iter: u32, pc: usize) -> f64 {
         let mut f = 1.0;
         for w in &self.slowdowns {
-            if w.device == device && (w.from_pc..w.until_pc).contains(&pc) {
+            if w.device == device
+                && w.iteration.is_none_or(|i| i == iter)
+                && (w.from_pc..w.until_pc).contains(&pc)
+            {
                 f *= w.factor;
             }
         }
         f
     }
 
-    /// `ns` scaled by the slowdown at `(device, pc)` — bit-identical to
-    /// the emulator's enforcement: untouched when the factor is exactly
-    /// 1.0, otherwise `round(ns * factor)` in `f64`.
-    pub fn scaled_compute(&self, device: DeviceId, pc: usize, ns: Nanos) -> Nanos {
-        let factor = self.compute_factor(device, pc);
+    /// `ns` scaled by the slowdown at `(device, iter, pc)` —
+    /// bit-identical to the emulator's enforcement: untouched when the
+    /// factor is exactly 1.0, otherwise `round(ns * factor)` in `f64`.
+    pub fn scaled_compute(&self, device: DeviceId, iter: u32, pc: usize, ns: Nanos) -> Nanos {
+        let factor = self.compute_factor(device, iter, pc);
         if factor == 1.0 {
             ns
         } else {
@@ -122,12 +136,18 @@ impl PerturbationProfile {
         }
     }
 
-    /// Extra departure latency for the `nth` packet sent on
-    /// `src -> dst` (sum of the matching entries).
-    pub fn link_extra(&self, src: DeviceId, dst: DeviceId, nth: usize) -> Nanos {
+    /// Extra departure latency for the `nth` packet of iteration `iter`
+    /// sent on `src -> dst` (sum of the matching entries; `nth` counts
+    /// within the iteration, matching the emulator's numbering).
+    pub fn link_extra(&self, src: DeviceId, dst: DeviceId, iter: u32, nth: usize) -> Nanos {
         self.link_slack
             .iter()
-            .filter(|s| s.src == src && s.dst == dst && s.nth.is_none_or(|n| n == nth))
+            .filter(|s| {
+                s.src == src
+                    && s.dst == dst
+                    && s.iteration.is_none_or(|i| i == iter)
+                    && s.nth.is_none_or(|n| n == nth)
+            })
             .map(|s| s.extra_ns)
             .sum()
     }
@@ -141,9 +161,9 @@ mod tests {
     fn identity_scales_nothing() {
         let p = PerturbationProfile::identity();
         assert!(p.is_identity());
-        assert_eq!(p.compute_factor(DeviceId(0), 7), 1.0);
-        assert_eq!(p.scaled_compute(DeviceId(3), 0, 12_345), 12_345);
-        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0), 0);
+        assert_eq!(p.compute_factor(DeviceId(0), 0, 7), 1.0);
+        assert_eq!(p.scaled_compute(DeviceId(3), 0, 0, 12_345), 12_345);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0, 0), 0);
     }
 
     #[test]
@@ -154,30 +174,32 @@ mod tests {
                 factor: 2.0,
                 from_pc: 2,
                 until_pc: 6,
+                iteration: None,
             })
             .with_slowdown(SlowdownWindow {
                 device: DeviceId(1),
                 factor: 3.0,
                 from_pc: 4,
                 until_pc: 8,
+                iteration: None,
             });
-        assert_eq!(p.compute_factor(DeviceId(1), 1), 1.0);
-        assert_eq!(p.compute_factor(DeviceId(1), 2), 2.0);
-        assert_eq!(p.compute_factor(DeviceId(1), 5), 6.0);
-        assert_eq!(p.compute_factor(DeviceId(1), 7), 3.0);
-        assert_eq!(p.compute_factor(DeviceId(1), 8), 1.0);
+        assert_eq!(p.compute_factor(DeviceId(1), 0, 1), 1.0);
+        assert_eq!(p.compute_factor(DeviceId(1), 0, 2), 2.0);
+        assert_eq!(p.compute_factor(DeviceId(1), 0, 5), 6.0);
+        assert_eq!(p.compute_factor(DeviceId(1), 0, 7), 3.0);
+        assert_eq!(p.compute_factor(DeviceId(1), 0, 8), 1.0);
         // Other devices untouched.
-        assert_eq!(p.compute_factor(DeviceId(0), 5), 1.0);
+        assert_eq!(p.compute_factor(DeviceId(0), 0, 5), 1.0);
         // Rounding matches the emulator: round(1000 * 6.0).
-        assert_eq!(p.scaled_compute(DeviceId(1), 5, 1_000), 6_000);
+        assert_eq!(p.scaled_compute(DeviceId(1), 0, 5, 1_000), 6_000);
     }
 
     #[test]
     fn straggler_covers_the_whole_program() {
         let p = PerturbationProfile::identity().with_straggler(DeviceId(2), 1.5);
-        assert_eq!(p.scaled_compute(DeviceId(2), 0, 1_000), 1_500);
-        assert_eq!(p.scaled_compute(DeviceId(2), usize::MAX - 1, 1_000), 1_500);
-        assert_eq!(p.scaled_compute(DeviceId(0), 0, 1_000), 1_000);
+        assert_eq!(p.scaled_compute(DeviceId(2), 0, 0, 1_000), 1_500);
+        assert_eq!(p.scaled_compute(DeviceId(2), 7, usize::MAX - 1, 1_000), 1_500);
+        assert_eq!(p.scaled_compute(DeviceId(0), 0, 0, 1_000), 1_000);
     }
 
     #[test]
@@ -188,22 +210,51 @@ mod tests {
                 dst: DeviceId(1),
                 nth: Some(2),
                 extra_ns: 5_000,
+                iteration: None,
             })
             .with_link_slack(LinkSlack {
                 src: DeviceId(0),
                 dst: DeviceId(1),
                 nth: None,
                 extra_ns: 100,
+                iteration: None,
             });
-        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0), 100);
-        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 2), 5_100);
-        assert_eq!(p.link_extra(DeviceId(1), DeviceId(0), 2), 0);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0, 0), 100);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 0, 2), 5_100);
+        assert_eq!(p.link_extra(DeviceId(1), DeviceId(0), 0, 2), 0);
+    }
+
+    #[test]
+    fn iteration_scope_gates_both_kinds() {
+        let p = PerturbationProfile::identity()
+            .with_slowdown(SlowdownWindow {
+                device: DeviceId(0),
+                factor: 2.0,
+                from_pc: 0,
+                until_pc: usize::MAX,
+                iteration: Some(1),
+            })
+            .with_link_slack(LinkSlack {
+                src: DeviceId(0),
+                dst: DeviceId(1),
+                nth: Some(0),
+                extra_ns: 700,
+                iteration: Some(2),
+            });
+        // Slowdown bites only in its iteration.
+        assert_eq!(p.compute_factor(DeviceId(0), 0, 3), 1.0);
+        assert_eq!(p.compute_factor(DeviceId(0), 1, 3), 2.0);
+        assert_eq!(p.compute_factor(DeviceId(0), 2, 3), 1.0);
+        // Link slack likewise; `nth` counts within the iteration.
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 1, 0), 0);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 2, 0), 700);
+        assert_eq!(p.link_extra(DeviceId(0), DeviceId(1), 2, 1), 0);
     }
 
     #[test]
     fn rounding_is_nearest() {
         let p = PerturbationProfile::identity().with_straggler(DeviceId(0), 1.0005);
         // 1000 * 1.0005 = 1000.5 -> rounds to 1001 (ties away from zero).
-        assert_eq!(p.scaled_compute(DeviceId(0), 0, 1_000), 1_001);
+        assert_eq!(p.scaled_compute(DeviceId(0), 0, 0, 1_000), 1_001);
     }
 }

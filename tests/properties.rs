@@ -235,7 +235,9 @@ proptest! {
 
 // Degraded-mode fidelity: the DP simulator under a perturbation profile
 // derived from an absorbable fault plan agrees bit-for-bit with the
-// zero-jitter emulator running the faults themselves — on every scheme.
+// zero-jitter emulator running the faults themselves — on every scheme,
+// and across multi-iteration runs where the faults fire in a later
+// iteration (the profile windows carry the plan's iteration scope).
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -244,6 +246,7 @@ proptest! {
         (scheme, d, n) in scheme_config(),
         seed_a in 0u64..512,
         seed_b in 0u64..512,
+        iters in 1u32..=3,
     ) {
         use mario::cluster::FaultPlan;
 
@@ -252,27 +255,30 @@ proptest! {
         let cap = cap_of(scheme);
         // Two independently drawn absorbable faults (stragglers, slow
         // links) merged into one plan — overlapping windows and duplicate
-        // packet delays included.
+        // packet delays included — scoped to a seeded iteration of the
+        // run, so agreement must hold beyond iteration 0.
         let mut plan = FaultPlan::single_absorbable(seed_a, &s);
         plan.faults
             .extend(FaultPlan::single_absorbable(seed_b, &s).faults);
+        let plan = plan.at_iteration((seed_a % iters as u64) as u32);
         prop_assert!(plan.is_absorbable());
 
         let profile = plan.perturbation_profile();
-        let sim = simulate_timeline_with(&s, &cost, cap, &profile)
+        let sim = simulate_timeline_iters(&s, &cost, cap, &profile, iters)
             .expect("degraded simulation completes");
         let emu = mario::cluster::run_with_faults(
             &s,
             &cost,
             EmulatorConfig {
                 channel_capacity: cap,
+                iterations: iters,
                 ..Default::default()
             },
             &plan,
         )
         .expect("absorbable plan completes");
         prop_assert_eq!(&sim.device_clocks, &emu.device_clocks,
-            "scheme {:?} D={} N={} plan {:?}", scheme, d, n, plan.faults);
+            "scheme {:?} D={} N={} iters {} plan {:?}", scheme, d, n, iters, plan.faults);
         prop_assert_eq!(sim.total_ns, emu.total_ns);
     }
 
@@ -296,6 +302,85 @@ proptest! {
                 .collect()
         };
         prop_assert_eq!(flat(&base), flat(&degraded));
+    }
+}
+
+// Checkpoint-restart: on every scheme, a crash landing after the first
+// completed checkpoint boundary makes resume-from-checkpoint strictly
+// cheaper than restart-from-zero (write costs included), and the resumed
+// final attempt is indistinguishable from a fresh run of the remaining
+// iterations.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn resume_from_checkpoint_beats_restart_from_zero(
+        (scheme, d, n) in scheme_config(),
+        k in 1u32..=2,
+        f_off in 0u32..64,
+        site in 0u32..4096,
+    ) {
+        use mario::cluster::{FaultKind, FaultPlan};
+
+        const ITERS: u32 = 6;
+        let s = generate(ScheduleConfig::new(scheme, d, n));
+        let cost = UnitCost::paper_grid();
+        // Crash in an iteration at or past the first checkpoint boundary,
+        // so the resumed attempt has durable progress to build on.
+        let f = k + f_off % (ITERS - k);
+        let device = DeviceId(site % d);
+        let len = s.programs()[device.index()].len() as u32;
+        prop_assume!(len > 0);
+        let plan = FaultPlan::none()
+            .with(FaultKind::Crash {
+                device,
+                pc: ((site * 7) % len) as usize,
+            })
+            .at_iteration(f);
+        let base = EmulatorConfig {
+            channel_capacity: cap_of(scheme),
+            iterations: ITERS,
+            watchdog: std::time::Duration::from_millis(300),
+            ..Default::default()
+        };
+        let with_ckpt = EmulatorConfig {
+            checkpoint: Some(CheckpointPolicy::every(k).with_write_ns(20)),
+            ..base
+        };
+
+        let resumed = mario::cluster::run_with_recovery(&s, &cost, with_ckpt, &plan, 3)
+            .expect("checkpointed recovery completes");
+        let restarted = mario::cluster::run_with_recovery(&s, &cost, base, &plan, 3)
+            .expect("checkpoint-free recovery completes");
+
+        // Crash in iteration f ⇒ every live device completed 0..f, so the
+        // cluster-durable checkpoint is exactly the last boundary ≤ f.
+        prop_assert_eq!(resumed.resumed_from, (f / k) * k);
+        prop_assert!(resumed.resumed_from >= k);
+        prop_assert_eq!(restarted.resumed_from, 0);
+
+        // Resuming is strictly cheaper end to end, checkpoint writes and
+        // replayed work both charged.
+        prop_assert!(
+            resumed.total_ns_with_replay < restarted.total_ns_with_replay,
+            "scheme {:?} D={} N={} k={} f={}: resume {} !< restart {}",
+            scheme, d, n, k, f,
+            resumed.total_ns_with_replay, restarted.total_ns_with_replay
+        );
+
+        // The resumed final attempt equals a fresh run of the remaining
+        // iterations, clock for clock.
+        let fresh = mario::cluster::run(
+            &s,
+            &cost,
+            EmulatorConfig {
+                iterations: ITERS - resumed.resumed_from,
+                ..with_ckpt
+            },
+        )
+        .expect("fresh run of the remaining iterations");
+        prop_assert_eq!(&resumed.report.device_clocks, &fresh.device_clocks);
+        prop_assert_eq!(resumed.report.total_ns, fresh.total_ns);
     }
 }
 
