@@ -1,0 +1,13 @@
+//! Sharded checkpoint-write sweep: synchronous flushes vs chunks drained
+//! into pipeline bubbles, across V/X/W. Exits non-zero unless the async
+//! overlap absorbs a strictly positive fraction of the write cost in at
+//! least one scheme. Pass `--smoke` for a single-scheme CI run.
+fn main() {
+    use mario_bench::experiments::ckptshard;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rows = ckptshard::run_sweep(smoke);
+    println!("{}", ckptshard::render(&rows));
+    if !rows.iter().any(|r| r.absorbed > 0.0) {
+        std::process::exit(1);
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod ckptshard;
 pub mod degraded;
 pub mod fig1;
 pub mod fig10;

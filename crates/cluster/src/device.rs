@@ -16,8 +16,8 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// One executed instruction with its virtual start/end times.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -56,9 +56,18 @@ pub struct DeviceReport {
 /// cluster-durable checkpoint is the minimum across devices — a model
 /// checkpoint only exists once *every* shard of it was written, exactly
 /// like a real distributed snapshot.
+///
+/// The board also learns *chunk-level* progress: sharded writes record
+/// each flushed chunk, so a crash mid-flush leaves the in-flight
+/// checkpoint invisible to [`CkptBoard::cluster_saved`] (a checkpoint is
+/// durable only once every chunk of it flushed), and it tracks the
+/// virtual time each device actually *paid* on the critical path
+/// writing checkpoints — the measured overhead the run report exposes.
 #[derive(Debug, Default)]
 pub struct CkptBoard {
     saved: Vec<AtomicU32>,
+    chunks: Vec<AtomicU32>,
+    paid: Vec<AtomicU64>,
 }
 
 impl CkptBoard {
@@ -66,6 +75,8 @@ impl CkptBoard {
     pub fn new(devices: usize) -> Self {
         Self {
             saved: (0..devices).map(|_| AtomicU32::new(0)).collect(),
+            chunks: (0..devices).map(|_| AtomicU32::new(0)).collect(),
+            paid: (0..devices).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -75,6 +86,41 @@ impl CkptBoard {
         if let Some(slot) = self.saved.get(device.index()) {
             slot.fetch_max(saved, Ordering::Relaxed);
         }
+    }
+
+    /// Records one flushed checkpoint chunk on `device`.
+    pub fn record_chunk(&self, device: DeviceId) {
+        if let Some(slot) = self.chunks.get(device.index()) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total checkpoint chunks `device` has flushed so far.
+    pub fn chunks_flushed(&self, device: DeviceId) -> u32 {
+        self.chunks
+            .get(device.index())
+            .map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+
+    /// Charges `ns` of checkpoint write time actually paid by `device`
+    /// (synchronous writes and residue flushes; chunks hidden in bubbles
+    /// cost nothing).
+    pub fn record_paid(&self, device: DeviceId, ns: Nanos) {
+        if let Some(slot) = self.paid.get(device.index()) {
+            slot.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Checkpoint write time `device` paid on its critical path, ns.
+    pub fn paid_of(&self, device: DeviceId) -> Nanos {
+        self.paid
+            .get(device.index())
+            .map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+
+    /// Checkpoint write time paid across all devices, ns.
+    pub fn total_paid(&self) -> Nanos {
+        self.paid.iter().map(|s| s.load(Ordering::Relaxed)).sum()
     }
 
     /// Iterations covered by the last checkpoint *every* device
@@ -201,6 +247,11 @@ pub struct DeviceRuntime<'a> {
     checkpoint: Option<CheckpointPolicy>,
     ckpts: &'a CkptBoard,
     last_checkpoint: u32,
+    /// Chunk flush times of the in-flight async checkpoint write, drained
+    /// front-first into recv bubbles.
+    pending_chunks: VecDeque<Nanos>,
+    /// Iterations the in-flight write covers once every chunk flushed.
+    pending_ckpt_iters: u32,
 }
 
 impl<'a> DeviceRuntime<'a> {
@@ -248,6 +299,8 @@ impl<'a> DeviceRuntime<'a> {
             checkpoint: ctx.checkpoint,
             ckpts: ctx.ckpts,
             last_checkpoint: 0,
+            pending_chunks: VecDeque::new(),
+            pending_ckpt_iters: 0,
         }
     }
 
@@ -272,7 +325,8 @@ impl<'a> DeviceRuntime<'a> {
             blocked_peer: None,
             vtime: self.clock,
             iteration: self.iteration,
-            last_checkpoint: 0,
+            last_checkpoint: self.last_checkpoint,
+            ckpt_paid_ns: 0,
             group: None,
             detail: detail.to_string(),
         }
@@ -310,6 +364,7 @@ impl<'a> DeviceRuntime<'a> {
     fn apply_mem(&mut self, pc: usize, instr: &Instr) -> Result<(), EmuError> {
         let squeeze = self.faults.squeeze;
         let device = self.device;
+        let last_checkpoint = self.last_checkpoint;
         self.rules
             .apply(&mut self.ledger, self.cost, device, instr)
             .map_err(|cause| match squeeze {
@@ -323,7 +378,8 @@ impl<'a> DeviceRuntime<'a> {
                     blocked_peer: None,
                     vtime: self.clock,
                     iteration: self.iteration,
-                    last_checkpoint: 0,
+                    last_checkpoint,
+                    ckpt_paid_ns: 0,
                     group: None,
                     detail: format!("memory squeezed: {cause}"),
                 })),
@@ -489,7 +545,12 @@ impl<'a> DeviceRuntime<'a> {
                     });
                     self.stalls.clear(me);
                     match got {
-                        Ok(t) => self.clock = t,
+                        Ok(t) => {
+                            // The wait for this message is exactly the idle
+                            // gap an async checkpoint write drains into.
+                            self.drain_chunks(t.saturating_sub(self.clock));
+                            self.clock = t;
+                        }
                         Err(e) => return Err(self.link_err(e, pc, instr, peer)),
                     }
                 }
@@ -512,10 +573,66 @@ impl<'a> DeviceRuntime<'a> {
         self.checkpoint_boundary(program, iter_idx)
     }
 
+    /// Flushes checkpoint chunks into an idle gap of `gap` ns observed at
+    /// a blocking recv: every chunk that fits in the gap drains for free
+    /// (the device would have been waiting anyway). Once the last chunk
+    /// flushes, the in-flight checkpoint becomes durable.
+    fn drain_chunks(&mut self, mut gap: Nanos) {
+        if self.pending_chunks.is_empty() {
+            return;
+        }
+        while let Some(&chunk) = self.pending_chunks.front() {
+            if chunk > gap {
+                return;
+            }
+            gap -= chunk;
+            self.pending_chunks.pop_front();
+            self.ckpts.record_chunk(self.device);
+        }
+        self.last_checkpoint = self.pending_ckpt_iters;
+        self.ckpts.record(self.device, self.last_checkpoint);
+    }
+
+    /// Synchronously flushes whatever is left of the in-flight async
+    /// checkpoint write: the residue the bubbles did not absorb is charged
+    /// to the clock and the checkpoint becomes durable.
+    fn flush_residue(&mut self) {
+        if self.pending_chunks.is_empty() {
+            return;
+        }
+        let residue: Nanos = self.pending_chunks.iter().sum();
+        for _ in 0..self.pending_chunks.len() {
+            self.ckpts.record_chunk(self.device);
+        }
+        self.pending_chunks.clear();
+        self.clock += residue;
+        self.ckpts.record_paid(self.device, residue);
+        self.last_checkpoint = self.pending_ckpt_iters;
+        self.ckpts.record(self.device, self.last_checkpoint);
+    }
+
+    /// Drains the in-flight async checkpoint write at the end of the run
+    /// (there is no next iteration to hide the rest of it in). Called by
+    /// the runner after the last iteration completes cleanly.
+    pub fn drain_checkpoint(&mut self) {
+        let start = self.clock;
+        self.flush_residue();
+        if self.record && self.clock > start {
+            self.timeline.push(TimelineEvent {
+                device: self.device,
+                instr: "CKPT".to_string(),
+                start,
+                end: self.clock,
+            });
+        }
+    }
+
     /// Writes the end-of-iteration model-state checkpoint when the active
     /// policy puts a boundary at `iter_idx`: charges the (unjittered)
-    /// write time, holds the transient serialization buffer against
-    /// capacity, and records the completed write on the shared board.
+    /// write time — or, with an async sharded policy, enqueues the chunk
+    /// flushes to drain into the next iteration's bubbles — holds the
+    /// transient serialization buffer against capacity, and records
+    /// completed writes on the shared board.
     fn checkpoint_boundary(
         &mut self,
         program: &DeviceProgram,
@@ -528,13 +645,15 @@ impl<'a> DeviceRuntime<'a> {
             return Ok(());
         }
         let start = self.clock;
-        // The write is a model parameter, not a kernel: it is charged
-        // exactly as configured (no jitter, no straggler factor).
-        self.clock += policy.write_ns;
+        // Whatever the previous async write could not hide must finish
+        // before this write starts: charge the residue synchronously.
+        self.flush_residue();
         // The serialization buffer is transient but counts against
         // capacity at its peak — an injected squeeze can make the
         // checkpoint itself the OOM site, attributed like any other
-        // squeeze-induced failure.
+        // squeeze-induced failure. The buffer is checked before any write
+        // cost is charged or durability recorded: a snapshot that cannot
+        // even be serialized never becomes a resume point.
         let pc = program.len();
         if let Err(cause) = self.ledger.alloc(AllocKey::Snapshot, policy.mem_overhead) {
             return Err(match self.faults.squeeze {
@@ -546,7 +665,8 @@ impl<'a> DeviceRuntime<'a> {
                     blocked_peer: None,
                     vtime: self.clock,
                     iteration: self.iteration,
-                    last_checkpoint: 0,
+                    last_checkpoint: self.last_checkpoint,
+                    ckpt_paid_ns: 0,
                     group: None,
                     detail: format!("memory squeezed: {cause}"),
                 })),
@@ -559,8 +679,26 @@ impl<'a> DeviceRuntime<'a> {
             });
         }
         self.ledger.free(AllocKey::Snapshot);
-        self.last_checkpoint = iter_idx + 1;
-        self.ckpts.record(self.device, self.last_checkpoint);
+        // The write is a model parameter, not a kernel: it is charged
+        // exactly as configured (no jitter, no straggler factor).
+        let shard = self.cost.ckpt_shard_bytes(self.device);
+        if policy.async_overlap() {
+            let chunks = policy.device_chunk_times(shard);
+            if chunks.is_empty() {
+                // Nothing to write: durable immediately at zero cost.
+                self.last_checkpoint = iter_idx + 1;
+                self.ckpts.record(self.device, self.last_checkpoint);
+            } else {
+                self.pending_chunks = chunks.into();
+                self.pending_ckpt_iters = iter_idx + 1;
+            }
+        } else {
+            let write = policy.device_write_ns(shard);
+            self.clock += write;
+            self.ckpts.record_paid(self.device, write);
+            self.last_checkpoint = iter_idx + 1;
+            self.ckpts.record(self.device, self.last_checkpoint);
+        }
         if self.record {
             self.timeline.push(TimelineEvent {
                 device: self.device,

@@ -212,6 +212,7 @@ mod tests {
             vtime: 1234,
             iteration: 0,
             last_checkpoint: 0,
+            ckpt_paid_ns: 0,
             group: None,
             detail: "device crashed".into(),
         };

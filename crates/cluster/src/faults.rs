@@ -534,8 +534,16 @@ pub struct FaultReport {
     /// Iterations covered by the last checkpoint the *whole cluster* had
     /// completed when the failure surfaced (0 when no checkpoint policy
     /// was active or nothing was saved yet) — where a resume restarts.
+    /// Stamped with the device-local value at construction; the runner's
+    /// root-cause attribution replaces it with the cluster-durable one.
     #[serde(default)]
     pub last_checkpoint: u32,
+    /// Checkpoint write time actually paid across the cluster when this
+    /// failure surfaced, ns (stamped by the runner's root-cause
+    /// attribution) — what the failed attempt's writes cost even though
+    /// some never became cluster-durable.
+    #[serde(default)]
+    pub ckpt_paid_ns: Nanos,
     /// The correlated [`FaultGroup`] this fault belongs to, if any.
     #[serde(default)]
     pub group: Option<String>,

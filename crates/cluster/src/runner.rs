@@ -89,7 +89,11 @@ pub fn effective_watchdog(schedule: &Schedule, cfg: &EmulatorConfig) -> Duration
 pub struct RunReport {
     /// Virtual duration of the whole run (max device clock), ns.
     pub total_ns: Nanos,
-    /// Virtual duration per iteration (total / iterations), ns.
+    /// Checkpoint-free virtual duration per iteration, ns: the critical
+    /// path minus the checkpoint-write time that device actually paid,
+    /// divided by iterations (rounded to nearest). This is the figure the
+    /// Daly interval tuner consumes as `T`; folding write cost into it
+    /// would make the tuned interval depend on the interval being tuned.
     pub iter_ns: Nanos,
     /// Final virtual clock per device.
     pub device_clocks: Vec<Nanos>,
@@ -103,8 +107,11 @@ pub struct RunReport {
     /// Iterations covered by the last cluster-durable checkpoint
     /// (None when no [`EmulatorConfig::checkpoint`] policy was active).
     pub last_checkpoint: Option<u32>,
-    /// Per-device virtual time spent writing checkpoints, ns (all
-    /// devices write in parallel, so this is also the wall-clock cost).
+    /// Virtual time actually spent writing checkpoints, summed across
+    /// devices, ns. These are real per-device payments, not the analytic
+    /// `interval × write_ns` figure: a device that died before a write
+    /// contributes nothing, and with [`mario_ir::ShardedWrite`] async
+    /// overlap only the residue the bubbles could not hide is counted.
     pub ckpt_overhead_ns: Nanos,
 }
 
@@ -227,6 +234,12 @@ pub fn run_with_faults(
                             break;
                         }
                     }
+                    if failed.is_none() {
+                        // No bubbles remain past the last instruction: any
+                        // async-checkpoint residue is paid synchronously so
+                        // the final checkpoint is durable when the run ends.
+                        rt.drain_checkpoint();
+                    }
                     rt.poison_links();
                     (rt, failed)
                 }));
@@ -283,6 +296,7 @@ pub fn run_with_faults(
         // belongs to.
         if let EmuError::Fault(report) = &mut root {
             report.last_checkpoint = ckpts.cluster_saved();
+            report.ckpt_paid_ns = ckpts.total_paid();
             report.group = plan.group_of(&report.fault);
         }
         return Err(root);
@@ -290,6 +304,19 @@ pub fn run_with_faults(
 
     let device_clocks: Vec<Nanos> = reports.iter().map(|r| r.clock).collect();
     let total_ns = device_clocks.iter().copied().max().unwrap_or(0);
+    // The per-iteration figure feeds throughput numbers and the Daly
+    // interval tuner, both of which want the schedule's compute/comm time
+    // with the checkpoint writes factored *out*: subtract what the
+    // critical-path device actually paid writing checkpoints, then round
+    // to nearest instead of truncating.
+    let critical = device_clocks
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .map_or(0, |(d, _)| d);
+    let ckpt_free_ns = total_ns.saturating_sub(ckpts.paid_of(DeviceId(critical as u32)));
+    let iters = cfg.iterations.max(1) as u64;
+    let iter_ns = (ckpt_free_ns + iters / 2) / iters;
     let mut timeline: Vec<TimelineEvent> = reports
         .iter()
         .flat_map(|r| r.timeline.iter().cloned())
@@ -305,15 +332,13 @@ pub fn run_with_faults(
         .collect();
     Ok(RunReport {
         total_ns,
-        iter_ns: total_ns / cfg.iterations as u64,
+        iter_ns,
         device_clocks,
         peak_mem: reports.iter().map(|r| r.peak_mem).collect(),
         timeline,
         faults,
         last_checkpoint: cfg.checkpoint.map(|_| ckpts.cluster_saved()),
-        ckpt_overhead_ns: cfg
-            .checkpoint
-            .map_or(0, |p| p.overhead_ns(cfg.iterations)),
+        ckpt_overhead_ns: ckpts.total_paid(),
     })
 }
 
@@ -340,7 +365,10 @@ pub struct RecoveredRun {
     /// is the work checkpointing exists to bound.
     pub replayed_iters: u32,
     /// Total virtual time spent writing checkpoints across all attempts,
-    /// ns — the overhead side of the checkpoint trade.
+    /// summed over devices, ns — the overhead side of the checkpoint
+    /// trade. Failed attempts contribute every write their devices paid
+    /// for (from [`FaultReport::ckpt_paid_ns`]), not just the writes that
+    /// became cluster-durable.
     pub ckpt_overhead_ns: Nanos,
 }
 
@@ -396,9 +424,11 @@ pub fn run_with_recovery(
                 let saved = report.last_checkpoint;
                 replayed += report.iteration.saturating_sub(saved);
                 completed += saved;
-                if let Some(policy) = cfg.checkpoint {
-                    failed_overhead += policy.overhead_ns(saved);
-                }
+                // Charge what the attempt's devices actually spent writing
+                // (stamped by root-cause attribution) — including writes
+                // that never became cluster-durable: that time was burned
+                // whether or not the checkpoint is resumable.
+                failed_overhead += report.ckpt_paid_ns;
                 fault_log.push(*report);
                 // The faulted component is replaced/healed: the remaining
                 // attempts run fault-free.
@@ -732,11 +762,14 @@ mod tests {
             },
         )
         .unwrap();
-        // 3 writes of 500 ns on every device, all in parallel: the run is
-        // exactly the write overhead slower.
+        // 3 writes of 500 ns on each of the 4 devices: the wall clock is
+        // exactly one device's write overhead slower, and the summed
+        // accounting reports every device's payments.
         assert_eq!(ck.last_checkpoint, Some(6));
-        assert_eq!(ck.ckpt_overhead_ns, 1_500);
+        assert_eq!(ck.ckpt_overhead_ns, 4 * 3 * 500);
         assert_eq!(ck.total_ns, clean.total_ns + 1_500);
+        // The per-iteration figure stays checkpoint-free.
+        assert_eq!(ck.iter_ns, clean.iter_ns);
         // A zero-cost policy is timing-neutral.
         let free = run(
             &s,
@@ -841,9 +874,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rec.report.device_clocks, fresh.device_clocks);
-        // Checkpoint overhead is reported across all attempts: 1 durable
-        // write in the failed attempt + 2 in the final one.
-        assert_eq!(rec.ckpt_overhead_ns, 3 * 500);
+        // Checkpoint overhead is reported across all attempts, summed
+        // over devices: each of the 4 devices paid 1 write in the failed
+        // attempt (the end-of-iteration-3 boundary was never reached)
+        // plus 2 in the final one.
+        assert_eq!(rec.ckpt_overhead_ns, 4 * 3 * 500);
         // And resuming beats restarting from zero under the same plan.
         let from_zero = run_with_recovery(&s, &unit(), base, &plan, 3).expect("recovers");
         assert_eq!(from_zero.resumed_from, 0);
@@ -854,6 +889,71 @@ mod tests {
             rec.total_ns_with_replay,
             from_zero.total_ns_with_replay
         );
+    }
+
+    #[test]
+    fn failed_attempt_charges_actual_write_payments() {
+        // Regression: the failed attempt used to be charged the analytic
+        // `overhead_ns(last_checkpoint)` — one device's writes for the
+        // checkpoints that became cluster-durable — under-reporting both
+        // the other devices' payments and any device-local write a fault
+        // killed before the whole cluster caught up.
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        // Device 2 dies at its very last instruction of iteration 1: by
+        // then every other device's communication with it has completed,
+        // so devices 0, 1 and 3 finish the whole run — each paying an
+        // end-of-iteration-1 write that can never become cluster-durable
+        // (device 2 never reached that boundary).
+        let last_pc = s.program(DeviceId(2)).len() - 1;
+        let plan = FaultPlan::none()
+            .with(FaultKind::Crash {
+                device: DeviceId(2),
+                pc: last_pc,
+            })
+            .at_iteration(1);
+        let cfg = EmulatorConfig {
+            iterations: 2,
+            checkpoint: Some(mario_ir::CheckpointPolicy::every(1).with_write_ns(500)),
+            ..fast(EmulatorConfig::default())
+        };
+        let err = run_with_faults(&s, &unit(), cfg, &plan).unwrap_err();
+        let report = err.fault_report().expect("fault attribution");
+        // Only the end-of-iteration-0 checkpoint is durable cluster-wide…
+        assert_eq!(report.last_checkpoint, 1);
+        // …but the attempt paid 4 writes for it plus the three orphaned
+        // end-of-iteration-1 writes: 7 × 500, not `overhead_ns(1) = 500`.
+        assert_eq!(report.ckpt_paid_ns, 7 * 500);
+        // Recovery charges those same payments, plus the final attempt's
+        // (1 remaining iteration, 4 devices).
+        let rec = run_with_recovery(&s, &unit(), cfg, &plan, 3).expect("recovers");
+        assert_eq!(rec.resumed_from, 1);
+        assert_eq!(rec.ckpt_overhead_ns, 7 * 500 + 4 * 500);
+    }
+
+    #[test]
+    fn absorbed_fault_report_names_the_device_checkpoint() {
+        // Regression: absorbed-fault reports (which skip the runner's
+        // root-cause fixup) used to hardcode `last_checkpoint: 0` no
+        // matter how many checkpoints the device had already written.
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let plan = FaultPlan::none()
+            .with(FaultKind::Slowdown {
+                device: DeviceId(1),
+                factor: 4.0,
+                from_pc: 0,
+                until_pc: 8,
+            })
+            .at_iteration(2);
+        let cfg = EmulatorConfig {
+            iterations: 4,
+            checkpoint: Some(mario_ir::CheckpointPolicy::every(1)),
+            ..fast(EmulatorConfig::default())
+        };
+        let r = run_with_faults(&s, &unit(), cfg, &plan).unwrap();
+        assert_eq!(r.faults.len(), 1, "{:?}", r.faults);
+        // The slowdown fired in iteration 2, after the device's
+        // end-of-iteration-1 boundary: 2 iterations were checkpointed.
+        assert_eq!(r.faults[0].last_checkpoint, 2);
     }
 
     #[test]

@@ -30,14 +30,15 @@ pub use passes::{
     split_backward, GraphTunerOptions, PassStats, PreposeOptions, SplitOptions,
 };
 pub use simulator::{
-    memory_series, simulate, simulate_memory, simulate_timeline, simulate_timeline_iters,
-    simulate_timeline_with, MemReport, MemSeries, SimError, SimEvent, SimOptions, SimReport,
-    SimTimeline,
+    memory_series, simulate, simulate_memory, simulate_timeline, simulate_timeline_ckpt,
+    simulate_timeline_iters, simulate_timeline_with, MemReport, MemSeries, SimError, SimEvent,
+    SimOptions, SimReport, SimTimeline,
 };
 pub use trace::{emu_to_chrome_trace, sim_to_chrome_trace, to_chrome_trace, TraceEvent};
 pub use tuner::{
-    admissible, daly_interval, evaluate, tune, tune_checkpoint_interval, Candidate,
-    CandidateFailure, CheckpointTuning, Evaluation, SchemeChoice, TuneError, TuneResult,
-    TunerConfig, MAX_DEGRADED_EVALS, MAX_VALIDATION_RUNS,
+    admissible, daly_interval, effective_write_ns, evaluate, fit_fault_rate, tune,
+    tune_checkpoint_interval, Candidate, CandidateFailure, CheckpointTuning, Evaluation,
+    FaultHistory, SchemeChoice, TuneError, TuneResult, TunerConfig, MAX_DEGRADED_EVALS,
+    MAX_VALIDATION_RUNS,
 };
 pub use viz::{render_ascii, render_svg, VizOptions};

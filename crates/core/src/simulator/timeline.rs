@@ -20,7 +20,9 @@
 //! the tuner predict a straggler's impact without paying an emulator run.
 
 use mario_ir::exec::MsgClass;
-use mario_ir::{CostModel, DeviceId, InstrKind, Nanos, PerturbationProfile, Schedule};
+use mario_ir::{
+    CheckpointPolicy, CostModel, DeviceId, InstrKind, Nanos, PerturbationProfile, Schedule,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
@@ -46,6 +48,18 @@ pub struct SimTimeline {
     pub device_clocks: Vec<Nanos>,
     /// Iteration makespan (max device clock).
     pub total_ns: Nanos,
+    /// Virtual time spent writing model-state checkpoints, summed across
+    /// devices, ns (0 unless a policy was passed to
+    /// [`simulate_timeline_ckpt`]). With async overlap only the residue
+    /// the bubbles could not hide is counted — the emulator's
+    /// `RunReport::ckpt_overhead_ns` semantics, bit for bit.
+    #[serde(default)]
+    pub ckpt_overhead_ns: Nanos,
+    /// Iterations covered by the last cluster-durable checkpoint (None
+    /// when no policy was active) — the emulator's
+    /// `RunReport::last_checkpoint` semantics.
+    #[serde(default)]
+    pub last_checkpoint: Option<u32>,
 }
 
 impl SimTimeline {
@@ -154,6 +168,137 @@ pub fn simulate_timeline_iters(
     profile: &PerturbationProfile,
     iterations: u32,
 ) -> Result<SimTimeline, SimError> {
+    simulate_timeline_ckpt(schedule, cost, channel_capacity, profile, iterations, None)
+}
+
+/// Per-device checkpoint-write state mirroring the emulator's
+/// `DeviceRuntime` chunk-drain bookkeeping: what is pending, what was
+/// actually paid, and which checkpoint is durable. The arithmetic below
+/// must stay literally identical to `mario-cluster::device` — the
+/// `simulator_matches_emulator` property covers both flat and
+/// sharded-async policies.
+struct CkptSim {
+    policy: CheckpointPolicy,
+    /// Remaining chunk flush times of the in-flight async write.
+    pending: Vec<VecDeque<Nanos>>,
+    /// Iterations the in-flight write will cover once every chunk lands.
+    pending_iters: Vec<u32>,
+    /// Write time charged synchronously to each device's clock.
+    paid: Vec<Nanos>,
+    /// Iterations covered by each device's last durable checkpoint.
+    last_ck: Vec<u32>,
+}
+
+impl CkptSim {
+    fn new(policy: CheckpointPolicy, devices: usize) -> Self {
+        Self {
+            policy,
+            pending: (0..devices).map(|_| VecDeque::new()).collect(),
+            pending_iters: vec![0; devices],
+            paid: vec![0; devices],
+            last_ck: vec![0; devices],
+        }
+    }
+
+    /// Flushes whole chunks into an idle gap of `gap` ns (a blocking recv
+    /// wait). The checkpoint becomes durable only when the queue empties.
+    fn drain(&mut self, d: usize, mut gap: Nanos) {
+        if self.pending[d].is_empty() {
+            return;
+        }
+        while let Some(&chunk) = self.pending[d].front() {
+            if chunk > gap {
+                return;
+            }
+            gap -= chunk;
+            self.pending[d].pop_front();
+        }
+        self.last_ck[d] = self.pending_iters[d];
+    }
+
+    /// Synchronously pays whatever the previous async write could not
+    /// hide, advancing the device clock.
+    fn flush_residue(&mut self, d: usize, clock: &mut Nanos) {
+        if self.pending[d].is_empty() {
+            return;
+        }
+        let residue: Nanos = self.pending[d].iter().sum();
+        self.pending[d].clear();
+        *clock += residue;
+        self.paid[d] += residue;
+        self.last_ck[d] = self.pending_iters[d];
+    }
+
+    /// End-of-iteration checkpoint boundary — the mirror of the
+    /// emulator's `checkpoint_boundary`.
+    fn boundary(
+        &mut self,
+        d: usize,
+        iter_idx: u32,
+        cost: &dyn CostModel,
+        clock: &mut Nanos,
+        events: &mut Vec<SimEvent>,
+    ) {
+        if !self.policy.is_boundary(iter_idx) {
+            return;
+        }
+        let dev = DeviceId(d as u32);
+        let start = *clock;
+        self.flush_residue(d, clock);
+        let shard = cost.ckpt_shard_bytes(dev);
+        if self.policy.async_overlap() {
+            let chunks = self.policy.device_chunk_times(shard);
+            if chunks.is_empty() {
+                self.last_ck[d] = iter_idx + 1;
+            } else {
+                self.pending[d] = chunks.into();
+                self.pending_iters[d] = iter_idx + 1;
+            }
+        } else {
+            let write = self.policy.device_write_ns(shard);
+            *clock += write;
+            self.paid[d] += write;
+            self.last_ck[d] = iter_idx + 1;
+        }
+        events.push(SimEvent {
+            device: dev,
+            instr: "CKPT".to_string(),
+            start,
+            end: *clock,
+        });
+    }
+
+    /// End-of-run drain: no bubbles remain, so any residue is paid
+    /// synchronously (the emulator's `drain_checkpoint`).
+    fn drain_end(&mut self, d: usize, clock: &mut Nanos, events: &mut Vec<SimEvent>) {
+        let start = *clock;
+        self.flush_residue(d, clock);
+        if *clock > start {
+            events.push(SimEvent {
+                device: DeviceId(d as u32),
+                instr: "CKPT".to_string(),
+                start,
+                end: *clock,
+            });
+        }
+    }
+}
+
+/// [`simulate_timeline_iters`] with a model-state checkpointing policy:
+/// each device pays its write at every interval boundary exactly as the
+/// cluster emulator charges it — synchronously for flat/sharded-sync
+/// policies, or chunk-by-chunk into the next iteration's recv bubbles
+/// when the policy asks for async overlap (any residue is charged at the
+/// following boundary, or at end of run). With `None` this is exactly
+/// [`simulate_timeline_iters`].
+pub fn simulate_timeline_ckpt(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    channel_capacity: usize,
+    profile: &PerturbationProfile,
+    iterations: u32,
+    checkpoint: Option<CheckpointPolicy>,
+) -> Result<SimTimeline, SimError> {
     assert!(channel_capacity >= 1);
     assert!(iterations >= 1);
     let devices = schedule.devices() as usize;
@@ -169,6 +314,20 @@ pub fn simulate_timeline_iters(
     let mut cur_iter = vec![0u32; devices];
     let mut events: Vec<SimEvent> =
         Vec::with_capacity(schedule.total_instrs() * iterations as usize);
+    let mut ckpt = checkpoint.map(|p| CkptSim::new(p, devices));
+
+    // The emulator runs the checkpoint boundary every iteration even for
+    // a device with an empty program; the main loop below skips such
+    // devices, so process their boundaries (which never block) up front.
+    if let Some(ck) = ckpt.as_mut() {
+        for (d, clock) in clocks.iter_mut().enumerate() {
+            if schedule.program(DeviceId(d as u32)).is_empty() {
+                for it in 0..iterations {
+                    ck.boundary(d, it, cost, clock, &mut events);
+                }
+            }
+        }
+    }
 
     let class_of = |k: &InstrKind| match k {
         InstrKind::SendAct { .. } | InstrKind::RecvAct { .. } => MsgClass::Act,
@@ -265,8 +424,15 @@ pub fn simulate_timeline_iters(
                             }
                             ch.queue.pop_front();
                             let bytes = cost.boundary_bytes(dev, instr.part);
-                            let arrival = (clocks[d] + cost.p2p_launch_overhead())
-                                .max(sent_at + cost.p2p_time_between(peer, dev, bytes));
+                            let ready = clocks[d] + cost.p2p_launch_overhead();
+                            let arrival =
+                                ready.max(sent_at + cost.p2p_time_between(peer, dev, bytes));
+                            // The wait for this message is exactly the
+                            // idle gap an async checkpoint write drains
+                            // into — the emulator's recv-side chunk flush.
+                            if let Some(ck) = ckpt.as_mut() {
+                                ck.drain(d, arrival - ready);
+                            }
                             ch.dequeues.push_back(arrival);
                             clocks[d] = arrival;
                             true
@@ -284,6 +450,14 @@ pub fn simulate_timeline_iters(
                 });
                 gpc[d] += 1;
                 fired = true;
+                // Completing the program's last instruction is the
+                // emulator's end-of-iteration checkpoint boundary.
+                if gpc[d].is_multiple_of(len) {
+                    if let Some(ck) = ckpt.as_mut() {
+                        let done = (gpc[d] / len - 1) as u32;
+                        ck.boundary(d, done, cost, &mut clocks[d], &mut events);
+                    }
+                }
             }
         }
         if all_done {
@@ -305,12 +479,29 @@ pub fn simulate_timeline_iters(
         }
     }
 
+    // No bubbles remain past the last instruction: pay any async residue
+    // synchronously so the final checkpoint is durable when the run ends.
+    if let Some(ck) = ckpt.as_mut() {
+        for (d, clock) in clocks.iter_mut().enumerate() {
+            ck.drain_end(d, clock, &mut events);
+        }
+    }
+
     events.sort_by_key(|e| (e.start, e.device.0));
     let total_ns = clocks.iter().copied().max().unwrap_or(0);
+    let (ckpt_overhead_ns, last_checkpoint) = match &ckpt {
+        Some(ck) => (
+            ck.paid.iter().sum(),
+            Some(ck.last_ck.iter().copied().min().unwrap_or(0)),
+        ),
+        None => (0, None),
+    };
     Ok(SimTimeline {
         events,
         device_clocks: clocks,
         total_ns,
+        ckpt_overhead_ns,
+        last_checkpoint,
     })
 }
 
@@ -456,6 +647,32 @@ mod tests {
         // makespan is at least 2 but at most 3 single-iteration spans.
         assert!(three.total_ns >= 2 * one.total_ns);
         assert!(three.total_ns <= 3 * one.total_ns);
+    }
+
+    #[test]
+    fn checkpointed_simulation_charges_writes_and_reports_durability() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        let cost = UnitCost::paper_grid();
+        let idle = PerturbationProfile::identity();
+        let base = simulate_timeline_iters(&s, &cost, 1, &idle, 4).unwrap();
+        assert_eq!(base.last_checkpoint, None);
+        assert_eq!(base.ckpt_overhead_ns, 0);
+        let policy = mario_ir::CheckpointPolicy::every(2).with_write_ns(500);
+        let ck = simulate_timeline_ckpt(&s, &cost, 1, &idle, 4, Some(policy)).unwrap();
+        // 2 writes of 500 ns on each of the 4 devices, plus a CKPT event
+        // per boundary per device.
+        assert_eq!(ck.last_checkpoint, Some(4));
+        assert_eq!(ck.ckpt_overhead_ns, 4 * 2 * 500);
+        assert_eq!(ck.total_ns, base.total_ns + 2 * 500);
+        assert_eq!(ck.events.len(), base.events.len() + 4 * 2);
+        // An async sharded policy over a zero-byte shard is free and
+        // durable immediately.
+        let sharded = mario_ir::CheckpointPolicy::every(2)
+            .with_sharded(mario_ir::ShardedWrite::new(1, 1).with_async_overlap());
+        let free = simulate_timeline_ckpt(&s, &cost, 1, &idle, 4, Some(sharded)).unwrap();
+        assert_eq!(free.last_checkpoint, Some(4));
+        assert_eq!(free.ckpt_overhead_ns, 0);
+        assert_eq!(free.device_clocks, base.device_clocks);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
 use crate::simulator::{simulate_memory, simulate_timeline, simulate_timeline_with, SimError};
-use mario_cluster::FaultPlan;
+use mario_cluster::{FaultPlan, FaultReport};
 use mario_ir::{
     min_channel_capacity, CheckpointPolicy, PerturbationProfile, Schedule, SchemeKind, Topology,
 };
@@ -122,6 +122,83 @@ pub struct CheckpointTuning {
     /// Transient serialization-buffer size charged at each boundary,
     /// bytes (forwarded onto the emitted policy).
     pub mem_overhead: u64,
+    /// Observed fault history from earlier runs. When present and it
+    /// contains at least one hard fault, its fitted rate replaces the
+    /// plan-implied uniform prior `hard_faults / total_iters` — the plan
+    /// says what *could* fail, the history says how often it actually
+    /// does.
+    pub history: Option<FaultHistory>,
+}
+
+/// Fault observations accumulated across completed (or recovered) runs,
+/// the empirical alternative to a plan-implied failure rate.
+#[derive(Debug, Clone, Default)]
+pub struct FaultHistory {
+    /// Every fault report observed (absorbed and fatal alike; fitting
+    /// keeps only the hard ones).
+    pub reports: Vec<FaultReport>,
+    /// Total iterations those observations cover, across all runs.
+    pub iterations: u64,
+}
+
+impl FaultHistory {
+    /// Folds one run's fault log and iteration count into the history.
+    pub fn record<I: IntoIterator<Item = FaultReport>>(&mut self, reports: I, iterations: u32) {
+        self.reports.extend(reports);
+        self.iterations += iterations as u64;
+    }
+
+    /// The fitted hard-fault rate, failures per iteration (see
+    /// [`fit_fault_rate`]).
+    pub fn fitted_rate(&self) -> Option<f64> {
+        fit_fault_rate(&self.reports, self.iterations)
+    }
+}
+
+/// Fits a hard-fault rate (failures per iteration) to observed fault
+/// reports: restart-forcing events over iterations observed. Absorbable
+/// faults (slowdowns, link delays) never force a restart and are
+/// ignored; reports sharing a correlated [`FaultGroup`]
+/// (`mario_cluster::FaultGroup`) count as ONE event — a rack failure is
+/// one restart no matter how many crash-and-stall reports it spawned.
+/// `None` when nothing was observed (no iterations, or no hard fault) —
+/// the caller falls back to its prior.
+pub fn fit_fault_rate(reports: &[FaultReport], iterations: u64) -> Option<f64> {
+    if iterations == 0 {
+        return None;
+    }
+    let mut seen_groups: Vec<&str> = Vec::new();
+    let mut events = 0u64;
+    for r in reports {
+        if r.fault.is_absorbable() {
+            continue;
+        }
+        match r.group.as_deref() {
+            Some(g) => {
+                if !seen_groups.contains(&g) {
+                    seen_groups.push(g);
+                    events += 1;
+                }
+            }
+            None => events += 1,
+        }
+    }
+    if events == 0 {
+        return None;
+    }
+    Some(events as f64 / iterations as f64)
+}
+
+/// The effective per-checkpoint write cost a run actually exhibited: its
+/// slowdown relative to a checkpoint-free run of the same schedule,
+/// amortized over the writes. This is the Young/Daly `C` to feed back
+/// into [`daly_interval`] for an async-overlap policy — bubbles absorb
+/// part of every write, so the analytic per-device cost overstates it.
+pub fn effective_write_ns(base_total_ns: u64, ckpt_total_ns: u64, writes: u32) -> u64 {
+    if writes == 0 {
+        return 0;
+    }
+    ckpt_total_ns.saturating_sub(base_total_ns) / writes as u64
 }
 
 /// The Young/Daly optimal checkpoint interval, in iterations:
@@ -144,19 +221,29 @@ pub fn daly_interval(
 }
 
 /// Derives the [`CheckpointPolicy`] [`tune`] attaches to its winner:
-/// Young/Daly with `λ = hard_faults / total_iters`. `None` when the plan
-/// carries no hard fault — absorbable faults (jitter, link slowdowns) are
-/// survived in place and never force a restart, so they contribute
-/// nothing to the failure rate.
+/// Young/Daly with `λ` fitted from [`CheckpointTuning::history`] when
+/// observations exist, falling back to the plan-implied uniform prior
+/// `hard_faults / total_iters`. `None` when neither source shows a hard
+/// fault — absorbable faults (jitter, link slowdowns) are survived in
+/// place and never force a restart, so they contribute nothing to the
+/// failure rate.
 pub fn tune_checkpoint_interval(
     iter_ns: u64,
     tuning: &CheckpointTuning,
 ) -> Option<CheckpointPolicy> {
-    let hard = tuning.plan.hard_faults();
-    if hard == 0 || tuning.total_iters == 0 {
+    if tuning.total_iters == 0 {
         return None;
     }
-    let lambda = hard as f64 / tuning.total_iters as f64;
+    let lambda = match tuning.history.as_ref().and_then(FaultHistory::fitted_rate) {
+        Some(fitted) => fitted,
+        None => {
+            let hard = tuning.plan.hard_faults();
+            if hard == 0 {
+                return None;
+            }
+            hard as f64 / tuning.total_iters as f64
+        }
+    };
     let k = daly_interval(iter_ns, tuning.write_ns, lambda, tuning.total_iters)?;
     Some(
         CheckpointPolicy::every(k)
@@ -905,6 +992,120 @@ mod tests {
         assert_eq!(daly_interval(1000, 100, 0.5, 0), None);
     }
 
+    fn fault_report(fault: mario_cluster::FaultKind, group: Option<&str>) -> FaultReport {
+        FaultReport {
+            fault,
+            device: mario_ir::DeviceId(0),
+            pc: 0,
+            instr: String::new(),
+            blocked_peer: None,
+            vtime: 0,
+            iteration: 0,
+            last_checkpoint: 0,
+            ckpt_paid_ns: 0,
+            group: group.map(str::to_string),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn fitted_rate_counts_restart_events_not_reports() {
+        use mario_cluster::FaultKind;
+        use mario_ir::DeviceId;
+        let crash = FaultKind::Crash {
+            device: DeviceId(0),
+            pc: 0,
+        };
+        let slow = FaultKind::Slowdown {
+            device: DeviceId(1),
+            factor: 2.0,
+            from_pc: 0,
+            until_pc: 4,
+        };
+        // Nothing observed: no rate.
+        assert_eq!(fit_fault_rate(&[], 64), None);
+        assert_eq!(fit_fault_rate(&[fault_report(crash, None)], 0), None);
+        // Absorbable faults never force a restart.
+        assert_eq!(fit_fault_rate(&[fault_report(slow, None)], 64), None);
+        // Independent hard faults each count...
+        let two = [fault_report(crash, None), fault_report(crash, None)];
+        assert_eq!(fit_fault_rate(&two, 64), Some(2.0 / 64.0));
+        // ...but a correlated burst (one rack dying as a crash plus two
+        // stalls) is a single restart event.
+        let burst = [
+            fault_report(crash, Some("rack-0")),
+            fault_report(
+                FaultKind::LinkStall {
+                    src: DeviceId(0),
+                    dst: DeviceId(2),
+                    nth: 0,
+                },
+                Some("rack-0"),
+            ),
+            fault_report(
+                FaultKind::LinkStall {
+                    src: DeviceId(1),
+                    dst: DeviceId(3),
+                    nth: 0,
+                },
+                Some("rack-0"),
+            ),
+        ];
+        assert_eq!(fit_fault_rate(&burst, 64), Some(1.0 / 64.0));
+        let mut history = FaultHistory::default();
+        history.record(burst.to_vec(), 32);
+        history.record([fault_report(crash, None)], 32);
+        assert_eq!(history.fitted_rate(), Some(2.0 / 64.0));
+    }
+
+    #[test]
+    fn history_overrides_the_plan_prior() {
+        use mario_cluster::FaultKind;
+        use mario_ir::DeviceId;
+        let crash = FaultKind::Crash {
+            device: DeviceId(0),
+            pc: 0,
+        };
+        // Plan-implied prior: 4 hard faults over 64 iterations.
+        let mut tuning = CheckpointTuning {
+            plan: FaultPlan::none().with(crash).with(crash).with(crash).with(crash),
+            total_iters: 64,
+            write_ns: 5_000,
+            mem_overhead: 0,
+            history: None,
+        };
+        let prior = tune_checkpoint_interval(10_000, &tuning).unwrap();
+        assert_eq!(
+            prior.interval_iters,
+            daly_interval(10_000, 5_000, 4.0 / 64.0, 64).unwrap()
+        );
+        // Observed history: one restart over 256 iterations — a much
+        // calmer fleet, so the fitted interval stretches.
+        let mut history = FaultHistory::default();
+        history.record([fault_report(crash, None)], 256);
+        tuning.history = Some(history);
+        let fitted = tune_checkpoint_interval(10_000, &tuning).unwrap();
+        assert_eq!(
+            fitted.interval_iters,
+            daly_interval(10_000, 5_000, 1.0 / 256.0, 64).unwrap()
+        );
+        assert!(fitted.interval_iters > prior.interval_iters);
+        // A history with no hard fault falls back to the plan prior.
+        tuning.history = Some(FaultHistory::default());
+        let fallback = tune_checkpoint_interval(10_000, &tuning).unwrap();
+        assert_eq!(fallback.interval_iters, prior.interval_iters);
+    }
+
+    #[test]
+    fn effective_write_cost_amortizes_the_measured_slowdown() {
+        // 12 writes stretched a 100µs run to 103µs: 250 ns each.
+        assert_eq!(effective_write_ns(100_000, 103_000, 12), 250);
+        // Fully absorbed writes cost nothing; degenerate inputs are safe.
+        assert_eq!(effective_write_ns(100_000, 100_000, 12), 0);
+        assert_eq!(effective_write_ns(100_000, 99_000, 12), 0);
+        assert_eq!(effective_write_ns(100_000, 103_000, 0), 0);
+    }
+
     #[test]
     fn checkpoint_tuner_needs_a_hard_fault() {
         use mario_cluster::FaultKind;
@@ -914,6 +1115,7 @@ mod tests {
             total_iters: 32,
             write_ns: 5_000,
             mem_overhead: 128,
+            history: None,
         };
         // An empty plan — and a plan of only absorbable faults — yields no
         // policy: nothing ever forces a restart.
@@ -962,6 +1164,7 @@ mod tests {
                 total_iters: 64,
                 write_ns: 2_000_000,
                 mem_overhead: 0,
+                history: None,
             }),
             ..small_cfg()
         };

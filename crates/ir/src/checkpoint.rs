@@ -15,20 +15,89 @@
 use crate::cost::Nanos;
 use serde::{Deserialize, Serialize};
 
+/// Sharded checkpoint-write mode: instead of a flat `write_ns`, each
+/// device's write cost is derived from its model-state shard size (the
+/// cost model's `ckpt_shard_bytes`) at a configurable flush bandwidth,
+/// split into fixed-size chunks. With [`ShardedWrite::async_overlap`]
+/// set, the chunks drain during the *next* iteration's pipeline bubbles:
+/// a chunk flushes whenever the device would otherwise idle at a
+/// blocking recv, any residue is charged synchronously at the following
+/// boundary, and the checkpoint only becomes durable once every chunk
+/// flushed.
+///
+/// All arithmetic is integer-exact so the DP simulator and the cluster
+/// emulator charge bit-identical costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedWrite {
+    /// Flush bandwidth, bytes per microsecond (>= 1 effective).
+    pub flush_bytes_per_us: u64,
+    /// Fixed chunk size, bytes (>= 1 effective); the last chunk of a
+    /// shard may be smaller.
+    pub chunk_bytes: u64,
+    /// Drain chunks asynchronously into the next iteration's bubbles
+    /// instead of charging the whole write at the boundary.
+    pub async_overlap: bool,
+}
+
+impl ShardedWrite {
+    /// A synchronous sharded write at `flush_bytes_per_us` in
+    /// `chunk_bytes` chunks.
+    pub fn new(flush_bytes_per_us: u64, chunk_bytes: u64) -> Self {
+        Self {
+            flush_bytes_per_us,
+            chunk_bytes,
+            async_overlap: false,
+        }
+    }
+
+    /// Builder: drain chunks into the next iteration's bubbles.
+    pub fn with_async_overlap(mut self) -> Self {
+        self.async_overlap = true;
+        self
+    }
+
+    /// Time to flush `bytes`, ns (ceiling division: a partial microsecond
+    /// of bandwidth still costs a whole nanosecond tick).
+    pub fn flush_ns(&self, bytes: u64) -> Nanos {
+        (bytes * 1_000).div_ceil(self.flush_bytes_per_us.max(1))
+    }
+
+    /// Per-chunk flush times for a `shard_bytes` shard: full chunks of
+    /// [`ShardedWrite::chunk_bytes`] plus one final partial chunk. Empty
+    /// for an empty shard (nothing to write — durable immediately).
+    pub fn chunk_times(&self, shard_bytes: u64) -> Vec<Nanos> {
+        let chunk = self.chunk_bytes.max(1);
+        let mut times = Vec::with_capacity((shard_bytes / chunk) as usize + 1);
+        let mut left = shard_bytes;
+        while left > 0 {
+            let this = left.min(chunk);
+            times.push(self.flush_ns(this));
+            left -= this;
+        }
+        times
+    }
+}
+
 /// Periodic model-state checkpointing: every `interval_iters` completed
 /// iterations, each device writes a checkpoint costing `write_ns` of
 /// virtual time and a transient `mem_overhead`-byte serialization buffer.
+/// With [`CheckpointPolicy::sharded`] set, the per-device cost comes from
+/// the device's shard size instead of the flat `write_ns`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckpointPolicy {
     /// Iterations between checkpoints (>= 1). A checkpoint is written at
     /// the end of iteration `i` whenever `(i + 1)` is a multiple of this.
     pub interval_iters: u32,
     /// Virtual time one device spends writing a checkpoint, ns (the
-    /// serialize-and-flush cost on the training critical path).
+    /// serialize-and-flush cost on the training critical path). Ignored
+    /// when [`CheckpointPolicy::sharded`] is set.
     pub write_ns: Nanos,
     /// Transient serialization-buffer bytes held while writing (counted
     /// against device capacity and released when the write completes).
     pub mem_overhead: u64,
+    /// Sharded write mode (None = flat `write_ns` per device).
+    #[serde(default)]
+    pub sharded: Option<ShardedWrite>,
 }
 
 impl CheckpointPolicy {
@@ -42,6 +111,7 @@ impl CheckpointPolicy {
             interval_iters,
             write_ns: 0,
             mem_overhead: 0,
+            sharded: None,
         }
     }
 
@@ -55,6 +125,39 @@ impl CheckpointPolicy {
     pub fn with_mem_overhead(mut self, bytes: u64) -> Self {
         self.mem_overhead = bytes;
         self
+    }
+
+    /// Switches the policy to sharded write mode.
+    pub fn with_sharded(mut self, sharded: ShardedWrite) -> Self {
+        self.sharded = Some(sharded);
+        self
+    }
+
+    /// True when chunks of this policy drain asynchronously into the next
+    /// iteration's bubbles (sharded mode with the overlap flag).
+    pub fn async_overlap(&self) -> bool {
+        self.sharded.is_some_and(|s| s.async_overlap)
+    }
+
+    /// Total write time one device pays for a checkpoint of `shard_bytes`
+    /// of model state: the flat `write_ns` without sharding, the sum of
+    /// the chunk flush times with it. Both executors use this exact sum,
+    /// so sync and async modes flush the same total — overlap only moves
+    /// it off the critical path.
+    pub fn device_write_ns(&self, shard_bytes: u64) -> Nanos {
+        match self.sharded {
+            Some(s) => s.chunk_times(shard_bytes).iter().sum(),
+            None => self.write_ns,
+        }
+    }
+
+    /// The chunk flush times an async overlap drains for a `shard_bytes`
+    /// shard (empty unless the policy is sharded).
+    pub fn device_chunk_times(&self, shard_bytes: u64) -> Vec<Nanos> {
+        match self.sharded {
+            Some(s) => s.chunk_times(shard_bytes),
+            None => Vec::new(),
+        }
     }
 
     /// True when a checkpoint is written at the end of iteration `iter`
@@ -120,5 +223,61 @@ mod tests {
     #[should_panic(expected = "interval must be >= 1")]
     fn zero_interval_is_rejected() {
         let _ = CheckpointPolicy::every(0);
+    }
+
+    #[test]
+    fn chunk_times_cover_the_shard_exactly() {
+        let s = ShardedWrite::new(2, 600);
+        // 1500 B in 600 B chunks: 600, 600, 300.
+        let times = s.chunk_times(1_500);
+        assert_eq!(times, vec![300_000, 300_000, 150_000]);
+        // Empty shard: nothing to flush.
+        assert!(s.chunk_times(0).is_empty());
+        // Sub-chunk shard: one partial chunk.
+        assert_eq!(s.chunk_times(100), vec![50_000]);
+    }
+
+    #[test]
+    fn flush_ns_rounds_up_and_survives_zero_bandwidth() {
+        let s = ShardedWrite::new(3, 100);
+        // 100 B at 3 B/µs = 33.3 µs, charged as 33334 ns.
+        assert_eq!(s.flush_ns(100), 33_334);
+        // Zero bandwidth is clamped to 1 B/µs instead of dividing by zero.
+        let z = ShardedWrite::new(0, 100);
+        assert_eq!(z.flush_ns(5), 5_000);
+    }
+
+    #[test]
+    fn device_write_ns_dispatches_by_mode() {
+        let flat = CheckpointPolicy::every(2).with_write_ns(777);
+        assert_eq!(flat.device_write_ns(1 << 30), 777);
+        assert!(flat.device_chunk_times(1 << 30).is_empty());
+        assert!(!flat.async_overlap());
+
+        let sharded = CheckpointPolicy::every(2).with_sharded(ShardedWrite::new(2, 600));
+        assert_eq!(sharded.device_write_ns(1_500), 750_000);
+        assert_eq!(sharded.device_chunk_times(1_500).len(), 3);
+        assert!(!sharded.async_overlap());
+        // Sync and async flush the same total; only the placement differs.
+        let overl = CheckpointPolicy::every(2)
+            .with_sharded(ShardedWrite::new(2, 600).with_async_overlap());
+        assert!(overl.async_overlap());
+        assert_eq!(
+            overl.device_write_ns(1_500),
+            sharded.device_write_ns(1_500)
+        );
+        // An empty shard is durable immediately at zero cost.
+        assert_eq!(overl.device_write_ns(0), 0);
+        assert!(overl.device_chunk_times(0).is_empty());
+    }
+
+    #[test]
+    fn zero_chunk_size_is_clamped_not_divided_by() {
+        let s = ShardedWrite::new(1, 0);
+        // chunk_bytes 0 behaves as 1-byte chunks: no infinite loop, exact
+        // coverage.
+        let times = s.chunk_times(3);
+        assert_eq!(times.len(), 3);
+        assert_eq!(times.iter().sum::<Nanos>(), 3 * 1_000);
     }
 }

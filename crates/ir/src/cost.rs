@@ -86,6 +86,16 @@ pub trait CostModel: Send + Sync {
     /// bias `b` of §5.2).
     fn static_mem(&self, device: DeviceId) -> u64;
 
+    /// Bytes of model state this device contributes to one model-state
+    /// checkpoint — the shard a sharded
+    /// [`crate::checkpoint::CheckpointPolicy`] flushes. Defaults to the
+    /// device's static memory; analytic models override this with the
+    /// per-stage parameter bytes (framework overhead is resident memory,
+    /// not checkpointed state).
+    fn ckpt_shard_bytes(&self, device: DeviceId) -> u64 {
+        self.static_mem(device)
+    }
+
     /// Device-occupancy duration of an arbitrary instruction.
     ///
     /// For p2p instructions this is only the launch overhead — the transfer
@@ -127,6 +137,11 @@ pub struct UnitCost {
     pub act_full_bytes: u64,
     /// Bytes of one micro-batch's checkpoint (default 0: idealized).
     pub act_ckpt_bytes: u64,
+    /// Bytes of model state each device contributes to a model-state
+    /// checkpoint (default 0: checkpoint writes are free on the unit
+    /// grid unless a test opts in).
+    #[serde(default)]
+    pub ckpt_shard_bytes: u64,
 }
 
 impl UnitCost {
@@ -138,6 +153,7 @@ impl UnitCost {
             backward_ratio: 2,
             act_full_bytes: 1,
             act_ckpt_bytes: 0,
+            ckpt_shard_bytes: 0,
         }
     }
 
@@ -145,6 +161,13 @@ impl UnitCost {
     /// memory-accounting tests.
     pub fn with_ckpt_bytes(mut self, bytes: u64) -> Self {
         self.act_ckpt_bytes = bytes;
+        self
+    }
+
+    /// Like [`UnitCost::paper_grid`] but with a nonzero model-state shard,
+    /// so sharded checkpoint writes have real cost on the unit grid.
+    pub fn with_shard_bytes(mut self, bytes: u64) -> Self {
+        self.ckpt_shard_bytes = bytes;
         self
     }
 }
@@ -194,6 +217,10 @@ impl CostModel for UnitCost {
     fn static_mem(&self, _device: DeviceId) -> u64 {
         0
     }
+
+    fn ckpt_shard_bytes(&self, _device: DeviceId) -> u64 {
+        self.ckpt_shard_bytes
+    }
 }
 
 #[cfg(test)]
@@ -229,5 +256,17 @@ mod tests {
         let c = UnitCost::paper_grid().with_ckpt_bytes(7);
         assert_eq!(c.act_ckpt(DeviceId(0), PartId(0)), 7);
         assert_eq!(c.act_full(DeviceId(0), PartId(0)), 1);
+    }
+
+    #[test]
+    fn shard_bytes_builder_and_default() {
+        // Default: shard follows static memory (0 on the unit grid).
+        let c = UnitCost::paper_grid();
+        assert_eq!(c.ckpt_shard_bytes(DeviceId(0)), 0);
+        let c = c.with_shard_bytes(4_096);
+        assert_eq!(c.ckpt_shard_bytes(DeviceId(3)), 4_096);
+        // Static memory is unchanged: the shard is checkpoint payload,
+        // not resident state.
+        assert_eq!(c.static_mem(DeviceId(3)), 0);
     }
 }

@@ -45,7 +45,7 @@ pub mod text;
 pub mod topology;
 pub mod validate;
 
-pub use checkpoint::CheckpointPolicy;
+pub use checkpoint::{CheckpointPolicy, ShardedWrite};
 pub use cost::{ComputeKind, CostModel, Nanos, UnitCost};
 pub use exec::{check_executable, min_channel_capacity, ExecError};
 pub use ids::{DeviceId, MicroId, PartId, StageId};

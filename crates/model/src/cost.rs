@@ -278,6 +278,15 @@ impl CostModel for AnalyticCost {
             .sum();
         model + self.framework_bytes
     }
+
+    fn ckpt_shard_bytes(&self, device: DeviceId) -> u64 {
+        // The checkpoint shard is the device's model state (weights,
+        // gradients, optimizer states of its stages) — framework overhead
+        // is resident memory, not checkpointed payload.
+        (0..self.topo.parts_per_device())
+            .map(|p| self.static_stage[self.stage(device, PartId(p))])
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +391,21 @@ mod tests {
         let c4 = AnalyticCost::new(&base.clone().with_dp(4));
         assert_eq!(c1.allreduce_time(DeviceId(0)), 0);
         assert!(c4.allreduce_time(DeviceId(0)) > 0);
+    }
+
+    #[test]
+    fn ckpt_shard_tracks_per_stage_state_without_framework_overhead() {
+        let c = AnalyticCost::new(&gpt13b_32());
+        // The shard is model state only: static memory minus the fixed
+        // framework bytes, per device.
+        for d in [0u32, 15, 31] {
+            let d = DeviceId(d);
+            assert!(c.ckpt_shard_bytes(d) > 0);
+            assert!(c.ckpt_shard_bytes(d) < c.static_mem(d));
+        }
+        // Embedding-carrying ends write bigger shards than the interior.
+        assert!(c.ckpt_shard_bytes(DeviceId(0)) > c.ckpt_shard_bytes(DeviceId(15)));
+        assert!(c.ckpt_shard_bytes(DeviceId(31)) > c.ckpt_shard_bytes(DeviceId(15)));
     }
 
     #[test]

@@ -87,7 +87,7 @@ mod tests {
             SchemeKind::Wave { chunks: 2 },
         ]
         .into_iter()
-        .filter(|s| !matches!(s, SchemeKind::Chimera) || devices % 2 == 0)
+        .filter(|s| !matches!(s, SchemeKind::Chimera) || devices.is_multiple_of(2))
         .collect()
     }
 

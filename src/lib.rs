@@ -45,13 +45,13 @@ pub mod prelude {
     pub use mario_cluster::{EmulatorConfig, RunReport};
     pub use mario_core::{
         apply_checkpoint, optimize, overlap_recompute, prepose_forward, remove_redundancy, run,
-        run_graph_tuner, simulate, simulate_memory, simulate_timeline, simulate_timeline_iters,
-        simulate_timeline_with, GraphTunerOptions, MarioConfig, SchemeChoice, SimOptions,
-        TunerConfig,
+        run_graph_tuner, simulate, simulate_memory, simulate_timeline, simulate_timeline_ckpt,
+        simulate_timeline_iters, simulate_timeline_with, GraphTunerOptions, MarioConfig,
+        SchemeChoice, SimOptions, TunerConfig,
     };
     pub use mario_ir::{
         validate, CheckpointPolicy, CostModel, DeviceId, Instr, InstrKind, MicroId, PartId,
-        PerturbationProfile, Schedule, SchemeKind, Topology, UnitCost,
+        PerturbationProfile, Schedule, SchemeKind, ShardedWrite, Topology, UnitCost,
     };
     pub use mario_model::{AnalyticCost, GpuSpec, ModelConfig, StagePartition, TrainSetup};
     pub use mario_schedules::{generate, generate_compute, ScheduleConfig};

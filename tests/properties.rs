@@ -384,6 +384,170 @@ proptest! {
     }
 }
 
+/// `UnitCost` with a different checkpoint shard on every device, so chunk
+/// counts, partial last chunks and drain residues all differ across the
+/// pipeline — the sharded-write paths cannot pass by symmetry.
+struct PerDeviceShards(UnitCost);
+
+impl CostModel for PerDeviceShards {
+    fn compute_time(&self, d: DeviceId, p: PartId, k: mario::ir::ComputeKind) -> u64 {
+        self.0.compute_time(d, p, k)
+    }
+    fn act_full(&self, d: DeviceId, p: PartId) -> u64 {
+        self.0.act_full(d, p)
+    }
+    fn act_ckpt(&self, d: DeviceId, p: PartId) -> u64 {
+        self.0.act_ckpt(d, p)
+    }
+    fn boundary_bytes(&self, d: DeviceId, p: PartId) -> u64 {
+        self.0.boundary_bytes(d, p)
+    }
+    fn p2p_time(&self, bytes: u64) -> u64 {
+        self.0.p2p_time(bytes)
+    }
+    fn allreduce_time(&self, d: DeviceId) -> u64 {
+        self.0.allreduce_time(d)
+    }
+    fn optimizer_time(&self, d: DeviceId) -> u64 {
+        self.0.optimizer_time(d)
+    }
+    fn static_mem(&self, d: DeviceId) -> u64 {
+        self.0.static_mem(d)
+    }
+    fn ckpt_shard_bytes(&self, d: DeviceId) -> u64 {
+        900 + 700 * d.0 as u64
+    }
+}
+
+// Checkpointed parity: with a checkpoint policy active — flat per-device
+// write, sharded synchronous flush, or sharded flush overlapped into the
+// next iteration's bubbles — the DP simulator and the zero-jitter
+// emulator still agree bit-for-bit on every scheme: device clocks, total
+// time, the write payments each device actually made, and the
+// cluster-durable checkpoint.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn checkpointed_simulator_matches_emulator(
+        (scheme, d, n) in scheme_config(),
+        mode in 0u8..3,
+        k in 1u32..=3,
+        iters in 2u32..=4,
+    ) {
+        let s = generate(ScheduleConfig::new(scheme, d, n));
+        let cost = PerDeviceShards(UnitCost::paper_grid());
+        let cap = cap_of(scheme);
+        // 2 000 bytes/µs over 600-byte chunks: every shard above ends in
+        // a partial chunk, and flush times are not multiples of the
+        // chunk time.
+        let sharded = ShardedWrite::new(2_000, 600);
+        let policy = match mode {
+            0 => CheckpointPolicy::every(k).with_write_ns(700),
+            1 => CheckpointPolicy::every(k).with_sharded(sharded),
+            _ => CheckpointPolicy::every(k).with_sharded(sharded.with_async_overlap()),
+        };
+        let sim = simulate_timeline_ckpt(
+            &s,
+            &cost,
+            cap,
+            &PerturbationProfile::identity(),
+            iters,
+            Some(policy),
+        )
+        .expect("checkpointed simulation completes");
+        let emu = mario::cluster::run(
+            &s,
+            &cost,
+            EmulatorConfig {
+                channel_capacity: cap,
+                iterations: iters,
+                checkpoint: Some(policy),
+                ..Default::default()
+            },
+        )
+        .expect("checkpointed emulation completes");
+        prop_assert_eq!(&sim.device_clocks, &emu.device_clocks,
+            "scheme {:?} D={} N={} mode {} k={} iters {}", scheme, d, n, mode, k, iters);
+        prop_assert_eq!(sim.total_ns, emu.total_ns);
+        prop_assert_eq!(sim.ckpt_overhead_ns, emu.ckpt_overhead_ns,
+            "paid-write accounting diverged on {:?} D={} N={} mode {} k={} iters {}",
+            scheme, d, n, mode, k, iters);
+        prop_assert_eq!(sim.last_checkpoint, emu.last_checkpoint);
+    }
+}
+
+// Chunk-level durability under async overlap: a crash landing while a
+// sharded checkpoint is still draining resumes from the last *fully
+// flushed* checkpoint — always a whole interval boundary, never a
+// partially written one — and the resumed final attempt is
+// indistinguishable from a fresh run of the remaining iterations.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn async_crash_resumes_from_a_fully_flushed_checkpoint(
+        (scheme, d, n) in scheme_config(),
+        k in 1u32..=2,
+        f_off in 0u32..64,
+        site in 0u32..4096,
+    ) {
+        use mario::cluster::{FaultKind, FaultPlan};
+
+        const ITERS: u32 = 6;
+        let s = generate(ScheduleConfig::new(scheme, d, n));
+        let cost = PerDeviceShards(UnitCost::paper_grid());
+        let f = k + f_off % (ITERS - k);
+        let device = DeviceId(site % d);
+        let len = s.programs()[device.index()].len() as u32;
+        prop_assume!(len > 0);
+        let plan = FaultPlan::none()
+            .with(FaultKind::Crash {
+                device,
+                pc: ((site * 7) % len) as usize,
+            })
+            .at_iteration(f);
+        let cfg = EmulatorConfig {
+            channel_capacity: cap_of(scheme),
+            iterations: ITERS,
+            checkpoint: Some(
+                CheckpointPolicy::every(k)
+                    .with_sharded(ShardedWrite::new(2_000, 600).with_async_overlap()),
+            ),
+            watchdog: std::time::Duration::from_millis(300),
+            ..Default::default()
+        };
+        let rec = mario::cluster::run_with_recovery(&s, &cost, cfg, &plan, 3)
+            .expect("async-checkpointed recovery completes");
+
+        // Never a partial checkpoint: the resume point is a whole
+        // interval boundary, and deferring durability to the chunk drain
+        // can only move it *earlier* than the synchronous boundary the
+        // crash iteration implies.
+        prop_assert_eq!(rec.resumed_from % k, 0,
+            "partial checkpoint resumed on {:?} D={} N={} k={} f={}", scheme, d, n, k, f);
+        prop_assert!(rec.resumed_from <= (f / k) * k,
+            "scheme {:?} D={} N={} k={} f={}: resumed_from {} past the crash boundary {}",
+            scheme, d, n, k, f, rec.resumed_from, (f / k) * k);
+
+        // The resumed final attempt equals a fresh run of the remaining
+        // iterations, clock for clock — pending chunks from the failed
+        // attempt never leak into the restart.
+        let fresh = mario::cluster::run(
+            &s,
+            &cost,
+            EmulatorConfig {
+                iterations: ITERS - rec.resumed_from,
+                ..cfg
+            },
+        )
+        .expect("fresh run of the remaining iterations");
+        prop_assert_eq!(&rec.report.device_clocks, &fresh.device_clocks);
+        prop_assert_eq!(rec.report.total_ns, fresh.total_ns);
+        prop_assert_eq!(rec.report.last_checkpoint, fresh.last_checkpoint);
+    }
+}
+
 // Linear-estimator fits recover arbitrary lines through noisy samples.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
