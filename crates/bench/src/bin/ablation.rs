@@ -1,6 +1,31 @@
 //! Regenerates the §7.1 partition ablation and the per-pass ablation.
+//! Pass `--json` for a machine-readable `results/ablation.json` (rows
+//! carry a `kind` field: `ramp` or `pass`).
 fn main() {
+    use mario_bench::{summary, JsonObj, RunSummary};
     let ramp = mario_bench::experiments::ablation::partition_ramp();
     let passes = mario_bench::experiments::ablation::pass_ablation();
     println!("{}", mario_bench::experiments::ablation::render(&ramp, &passes));
+    if summary::json_requested() {
+        let best_pass = passes.iter().map(|p| p.throughput).fold(0.0, f64::max);
+        let mut s = RunSummary::new("ablation").metric("best_pass_throughput", best_pass);
+        for p in &ramp {
+            s.push_row(
+                JsonObj::new()
+                    .str("kind", "ramp")
+                    .int("k", p.k)
+                    .num("base_tp", p.base_tp)
+                    .num("mario_tp", p.mario_tp),
+            );
+        }
+        for p in &passes {
+            s.push_row(
+                JsonObj::new()
+                    .str("kind", "pass")
+                    .str("label", &p.label)
+                    .num("throughput", p.throughput),
+            );
+        }
+        summary::emit(&s);
+    }
 }

@@ -2,14 +2,52 @@
 //! correlated rack-failure sweep with checkpoint-restart recovery. Exits
 //! non-zero if any scenario violates its invariant
 //! (terminate-attribute-reproduce; for correlated scenarios additionally
-//! resume-beats-restart). Pass `--smoke` for a single-seed CI run.
+//! resume-beats-restart). Pass `--smoke` for a single-seed CI run and
+//! `--json` for a machine-readable `results/chaos.json`.
 fn main() {
     use mario_bench::experiments::chaos;
+    use mario_bench::{summary, JsonObj, RunSummary};
     let smoke = std::env::args().any(|a| a == "--smoke");
     let rows = chaos::run(if smoke { 1 } else { 16 });
     println!("{}", chaos::render(&rows));
     let correlated = chaos::run_correlated(if smoke { 1 } else { 8 });
     println!("{}", chaos::render_correlated(&correlated));
+    if summary::json_requested() {
+        let total = rows.len() + correlated.len();
+        let ok = rows.iter().filter(|r| r.ok).count()
+            + correlated.iter().filter(|r| r.ok).count();
+        let mut s = RunSummary::new("chaos")
+            .metric("scenarios_total", total as f64)
+            .metric("scenarios_ok", ok as f64);
+        for r in &rows {
+            s.push_row(
+                JsonObj::new()
+                    .str("kind", "single")
+                    .str("scheme", &r.scheme)
+                    .int("seed", r.seed)
+                    .str("fault", &r.fault)
+                    .str("outcome", &r.outcome)
+                    .bool("ok", r.ok),
+            );
+        }
+        for r in &correlated {
+            s.push_row(
+                JsonObj::new()
+                    .str("kind", "correlated")
+                    .str("scheme", &r.scheme)
+                    .int("seed", r.seed)
+                    .str("group", &r.group)
+                    .int("faults", r.faults as u64)
+                    .int("fault_iter", r.fault_iter)
+                    .int("restart_ns", r.restart_ns)
+                    .int("resume_ns", r.resume_ns)
+                    .int("resumed_from", r.resumed_from)
+                    .str("outcome", &r.outcome)
+                    .bool("ok", r.ok),
+            );
+        }
+        summary::emit(&s);
+    }
     if rows.iter().any(|r| !r.ok) || correlated.iter().any(|r| !r.ok) {
         std::process::exit(1);
     }

@@ -1,13 +1,35 @@
 //! Degraded-mode prediction sweep: simulator vs. emulator under
 //! straggler faults across V/X/W. Exits non-zero if any scenario's
 //! prediction diverges from the zero-jitter emulation. Pass `--smoke`
-//! for a single-scenario CI run.
+//! for a single-scenario CI run and `--json` for a machine-readable
+//! `results/degraded.json`.
 fn main() {
     use mario_bench::experiments::degraded;
+    use mario_bench::{summary, JsonObj, RunSummary};
     let smoke = std::env::args().any(|a| a == "--smoke");
     let factors: &[f64] = if smoke { &[4.0] } else { &degraded::FULL_FACTORS };
     let rows = degraded::run_sweep(factors);
     println!("{}", degraded::render(&rows));
+    if summary::json_requested() {
+        let ok = rows.iter().filter(|r| r.ok).count();
+        let mut s = RunSummary::new("degraded")
+            .metric("scenarios_total", rows.len() as f64)
+            .metric("scenarios_ok", ok as f64);
+        for r in &rows {
+            s.push_row(
+                JsonObj::new()
+                    .str("scheme", &r.scheme)
+                    .num("factor", r.factor)
+                    .int("base_ns", r.base_ns)
+                    .int("predicted_ns", r.predicted_ns)
+                    .int("emulated_ns", r.emulated_ns)
+                    .num("predicted_slowdown", r.predicted_slowdown)
+                    .num("emulated_slowdown", r.emulated_slowdown)
+                    .bool("ok", r.ok),
+            );
+        }
+        summary::emit(&s);
+    }
     if rows.iter().any(|r| !r.ok) {
         std::process::exit(1);
     }

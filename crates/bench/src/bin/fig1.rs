@@ -1,5 +1,21 @@
-//! Regenerates Fig. 1 (pipeline scheme development).
+//! Regenerates Fig. 1 (pipeline scheme development). Pass `--json` for a
+//! machine-readable `results/fig1.json`.
 fn main() {
+    use mario_bench::{summary, JsonObj, RunSummary};
     let rows = mario_bench::experiments::fig1::run();
     println!("{}", mario_bench::experiments::fig1::render(&rows));
+    if summary::json_requested() {
+        let best = rows.iter().map(|r| r.throughput).fold(0.0, f64::max);
+        let mut s = RunSummary::new("fig1").metric("best_throughput", best);
+        for r in &rows {
+            s.push_row(
+                JsonObj::new()
+                    .str("scheme", &r.scheme)
+                    .num("throughput", r.throughput)
+                    .num("speedup_vs_gpipe", r.speedup_vs_gpipe)
+                    .num("bubble_ratio", r.bubble_ratio),
+            );
+        }
+        summary::emit(&s);
+    }
 }

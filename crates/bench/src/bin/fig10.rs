@@ -1,5 +1,24 @@
-//! Regenerates Fig. 10 (simulator accuracy).
+//! Regenerates Fig. 10 (simulator accuracy). Pass `--json` for a
+//! machine-readable `results/fig10.json`.
 fn main() {
+    use mario_bench::{summary, JsonObj, RunSummary};
     let acc = mario_bench::experiments::fig10::run();
     println!("{}", mario_bench::experiments::fig10::render(&acc));
+    if summary::json_requested() {
+        let mut s = RunSummary::new("fig10")
+            .metric("tput_mape_pct", acc.tput_mape)
+            .metric("mem_mape_pct", acc.mem_mape)
+            .metric("order_concordance", acc.order_concordance);
+        for p in &acc.points {
+            s.push_row(
+                JsonObj::new()
+                    .str("label", &p.label)
+                    .num("real_tp", p.real_tp)
+                    .num("est_tp", p.est_tp)
+                    .int("real_mem", p.real_mem)
+                    .int("est_mem", p.est_mem),
+            );
+        }
+        summary::emit(&s);
+    }
 }

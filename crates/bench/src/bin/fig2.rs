@@ -1,5 +1,22 @@
-//! Regenerates Fig. 2 (the near zero-cost checkpointing steps).
+//! Regenerates Fig. 2 (the near zero-cost checkpointing steps). Pass
+//! `--json` for a machine-readable `results/fig2.json`.
 fn main() {
+    use mario_bench::{summary, JsonObj, RunSummary};
     let steps = mario_bench::experiments::fig2::run();
     println!("{}", mario_bench::experiments::fig2::render(&steps));
+    if summary::json_requested() {
+        let exact = steps.iter().filter(|s| s.measured_t == s.paper_t).count();
+        let mut s =
+            RunSummary::new("fig2").metric("steps_matching_paper", exact as f64);
+        for st in &steps {
+            s.push_row(
+                JsonObj::new()
+                    .int("step", st.step)
+                    .str("what", &st.what)
+                    .int("measured_t", st.measured_t)
+                    .int("paper_t", st.paper_t),
+            );
+        }
+        summary::emit(&s);
+    }
 }

@@ -1,6 +1,32 @@
 //! Regenerates Fig. 6 (throughput on GPT3-1.6B / LLaMA2-3B, 8 GPUs).
+//! Pass `--json` for a machine-readable `results/fig6.json`.
 fn main() {
-    for (model, rows) in mario_bench::experiments::fig6::run() {
-        println!("{}", mario_bench::experiments::fig6::render(&model, &rows));
+    use mario_bench::{summary, JsonObj, RunSummary};
+    let groups = mario_bench::experiments::fig6::run();
+    for (model, rows) in &groups {
+        println!("{}", mario_bench::experiments::fig6::render(model, rows));
+    }
+    if summary::json_requested() {
+        let best = groups
+            .iter()
+            .flat_map(|(_, rows)| rows.iter().map(|r| r.throughput))
+            .fold(0.0, f64::max);
+        let mut s = RunSummary::new("fig6").metric("best_throughput", best);
+        for (model, rows) in &groups {
+            for r in rows {
+                s.push_row(
+                    JsonObj::new()
+                        .str("model", model)
+                        .str("label", &r.label)
+                        .int("micro_bs", r.micro_bs)
+                        .num("throughput", r.throughput)
+                        .int("iter_ns", r.iter_ns)
+                        .int("peak_mem", r.mem_range().1)
+                        .bool("oom", r.oom)
+                        .bool("estimated", r.estimated),
+                );
+            }
+        }
+        summary::emit(&s);
     }
 }

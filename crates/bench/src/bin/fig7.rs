@@ -1,6 +1,31 @@
-//! Regenerates Fig. 7 (per-device peak memory).
+//! Regenerates Fig. 7 (per-device peak memory). Pass `--json` for a
+//! machine-readable `results/fig7.json`.
 fn main() {
-    for (title, rows) in mario_bench::experiments::fig7::run() {
-        println!("{}", mario_bench::experiments::fig7::render(&title, &rows));
+    use mario_bench::{summary, JsonObj, RunSummary};
+    let groups = mario_bench::experiments::fig7::run();
+    for (title, rows) in &groups {
+        println!("{}", mario_bench::experiments::fig7::render(title, rows));
+    }
+    if summary::json_requested() {
+        let worst = groups
+            .iter()
+            .flat_map(|(_, rows)| rows.iter().map(|r| r.mem_range().1))
+            .max()
+            .unwrap_or(0);
+        let mut s = RunSummary::new("fig7").metric("worst_peak_bytes", worst as f64);
+        for (title, rows) in &groups {
+            for r in rows {
+                let (mem_min, mem_max) = r.mem_range();
+                s.push_row(
+                    JsonObj::new()
+                        .str("config", title)
+                        .str("label", &r.label)
+                        .int("peak_min", mem_min)
+                        .int("peak_max", mem_max)
+                        .bool("oom", r.oom),
+                );
+            }
+        }
+        summary::emit(&s);
     }
 }

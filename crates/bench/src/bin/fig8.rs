@@ -1,5 +1,21 @@
-//! Regenerates Fig. 8 (model-parameter scaling).
+//! Regenerates Fig. 8 (model-parameter scaling). Pass `--json` for a
+//! machine-readable `results/fig8.json`.
 fn main() {
+    use mario_bench::{summary, JsonObj, RunSummary};
     let points = mario_bench::experiments::fig8::run();
     println!("{}", mario_bench::experiments::fig8::render(&points));
+    if summary::json_requested() {
+        let largest = points.iter().map(|p| p.max_params).max().unwrap_or(0);
+        let mut s = RunSummary::new("fig8").metric("largest_params", largest as f64);
+        for p in &points {
+            s.push_row(
+                JsonObj::new()
+                    .str("label", &p.label)
+                    .int("max_hidden", p.max_hidden)
+                    .int("max_params", p.max_params)
+                    .num("throughput", p.throughput),
+            );
+        }
+        summary::emit(&s);
+    }
 }

@@ -1,5 +1,26 @@
-//! Regenerates Fig. 9 (sequence-length scaling).
+//! Regenerates Fig. 9 (sequence-length scaling). Pass `--json` for a
+//! machine-readable `results/fig9.json`.
 fn main() {
+    use mario_bench::{summary, JsonObj, RunSummary};
     let rows = mario_bench::experiments::fig9::run();
     println!("{}", mario_bench::experiments::fig9::render(&rows));
+    if summary::json_requested() {
+        let longest = rows
+            .iter()
+            .filter_map(|(_, max)| *max)
+            .max()
+            .unwrap_or(0);
+        let mut s = RunSummary::new("fig9").metric("longest_seqlen", longest as f64);
+        for (cfg, max) in &rows {
+            let row = JsonObj::new()
+                .str("label", &cfg.label())
+                .int("tp", cfg.tp)
+                .bool("mario", cfg.mario);
+            s.push_row(match max {
+                Some(m) => row.int("max_seqlen", *m),
+                None => row.raw("max_seqlen", "null".to_string()),
+            });
+        }
+        summary::emit(&s);
+    }
 }

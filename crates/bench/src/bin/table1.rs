@@ -1,8 +1,31 @@
-//! Regenerates Table 1 (memory footprint across pipeline schemes).
+//! Regenerates Table 1 (memory footprint across pipeline schemes). Pass
+//! `--json` for a machine-readable `results/table1.json`.
 fn main() {
+    use mario_bench::{summary, JsonObj, RunSummary};
+    let mut s = RunSummary::new("table1");
+    let mut worst_mario = 0u64;
     for d in [4u32, 8, 16] {
         println!("D = {d}, N = {}:", 2 * d);
         let rows = mario_bench::experiments::table1::run(d);
         println!("{}", mario_bench::experiments::table1::render(&rows));
+        for r in &rows {
+            worst_mario = worst_mario.max(r.act_mario);
+            s.push_row(
+                JsonObj::new()
+                    .int("devices", d)
+                    .str("scheme", &r.scheme)
+                    .int("weight_replicas", r.weight_replicas)
+                    .int("act_min", r.act_range.0)
+                    .int("act_max", r.act_range.1)
+                    .int("paper_min", r.paper_range.0)
+                    .int("paper_max", r.paper_range.1)
+                    .int("act_mario", r.act_mario)
+                    .int("paper_mario", r.paper_mario),
+            );
+        }
+    }
+    if summary::json_requested() {
+        s.push_metric("worst_mario_peak_units", worst_mario as f64);
+        summary::emit(&s);
     }
 }

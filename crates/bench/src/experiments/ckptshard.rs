@@ -54,6 +54,12 @@ pub struct Row {
     pub async_paid: u64,
     /// Fraction of the synchronous makespan overhead the bubbles absorb.
     pub absorbed: f64,
+    /// Fraction of the total chunk time the bubbles drained, read
+    /// directly from the async run's flight recorder:
+    /// `ckpt_absorbed / (ckpt_absorbed + ckpt_sync)`. Matches
+    /// [`Row::absorbed`] when every drained chunk shortens the makespan
+    /// (V, X); can exceed it when drains happen off the critical path (W).
+    pub absorbed_telemetry: f64,
     /// Effective per-write cost on the critical path, synchronous, ns.
     pub eff_sync_ns: u64,
     /// Effective per-write cost on the critical path, async, ns.
@@ -90,6 +96,15 @@ fn compare(scheme: SchemeKind) -> Row {
     } else {
         1.0 - async_over as f64 / sync_over as f64
     };
+    // The same figure read off the flight recorder instead of endpoint
+    // deltas: drained chunk time over total chunk time in the async run.
+    let drained = asynced.telemetry.total_ckpt_absorbed_ns();
+    let paid = asynced.telemetry.total_ckpt_sync_ns();
+    let absorbed_telemetry = if drained + paid == 0 {
+        0.0
+    } else {
+        drained as f64 / (drained + paid) as f64
+    };
 
     // Feed the *observed* per-write cost of each mode into Young/Daly
     // (one expected hard fault over the run): absorbed writes look
@@ -107,6 +122,7 @@ fn compare(scheme: SchemeKind) -> Row {
         sync_paid: sync.ckpt_overhead_ns,
         async_paid: asynced.ckpt_overhead_ns,
         absorbed,
+        absorbed_telemetry,
         eff_sync_ns,
         eff_async_ns,
         k_sync: tune(eff_sync_ns),
@@ -132,7 +148,7 @@ pub fn run_sweep(smoke: bool) -> Vec<Row> {
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(&[
         "scheme", "base ns", "sync ns", "async ns", "paid sync", "paid async", "absorbed",
-        "C_eff sync", "C_eff async", "k* sync", "k* async",
+        "absorbed (tel)", "C_eff sync", "C_eff async", "k* sync", "k* async",
     ]);
     for r in rows {
         t.row(vec![
@@ -143,15 +159,18 @@ pub fn render(rows: &[Row]) -> String {
             r.sync_paid.to_string(),
             r.async_paid.to_string(),
             format!("{:.0}%", r.absorbed * 100.0),
+            format!("{:.0}%", r.absorbed_telemetry * 100.0),
             r.eff_sync_ns.to_string(),
             r.eff_async_ns.to_string(),
             r.k_sync.to_string(),
             r.k_async.to_string(),
         ]);
     }
+    // Headline from the flight recorder — the per-chunk payment ledger —
+    // with the endpoint-delta column alongside as the cross-check.
     let best = rows
         .iter()
-        .map(|r| r.absorbed)
+        .map(|r| r.absorbed_telemetry)
         .fold(f64::NEG_INFINITY, f64::max);
     let mut out = t.render();
     out.push_str(&format!(
@@ -181,6 +200,72 @@ mod tests {
             assert!(r.async_paid < r.sync_paid, "{}", r.scheme);
             // Cheaper effective writes can only tighten the tuned interval.
             assert!(r.k_async <= r.k_sync, "{}", r.scheme);
+        }
+    }
+
+    #[test]
+    fn telemetry_absorbed_fraction_agrees_with_endpoint_deltas() {
+        for r in run_sweep(false) {
+            // The payment ledger can only see MORE absorption than the
+            // makespan deltas: every endpoint nanosecond saved is a
+            // drained chunk, but chunks drained off the critical path
+            // save payment without moving the makespan (W).
+            assert!(
+                r.absorbed_telemetry >= r.absorbed - 1e-9,
+                "{}: telemetry {} < endpoint {}",
+                r.scheme,
+                r.absorbed_telemetry,
+                r.absorbed
+            );
+            assert!(r.absorbed_telemetry > 0.0 && r.absorbed_telemetry < 1.0, "{}", r.scheme);
+            // The telemetry fraction IS the payment ratio: drained over
+            // total chunk time, where the sync run pays everything.
+            let expected = 1.0 - r.async_paid as f64 / r.sync_paid as f64;
+            assert!(
+                (r.absorbed_telemetry - expected).abs() < 1e-9,
+                "{}: {} vs {}",
+                r.scheme,
+                r.absorbed_telemetry,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn ckpt_overhead_equals_summed_sync_class() {
+        // The RunReport's ckpt_overhead_ns and the telemetry's ckpt-sync
+        // class are the same ledger — absorbed chunk time appears in the
+        // ckpt-absorbed class only, never double-counted into either.
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        let cost = UnitCost::paper_grid().with_shard_bytes(SHARD_BYTES);
+        let cfg = EmulatorConfig {
+            channel_capacity: 1,
+            iterations: ITERS,
+            ..Default::default()
+        };
+        let sharded = ShardedWrite::new(FLUSH_BPUS, CHUNK_BYTES);
+        for policy in [
+            None,
+            Some(CheckpointPolicy::every(INTERVAL).with_sharded(sharded)),
+            Some(CheckpointPolicy::every(INTERVAL).with_sharded(sharded.with_async_overlap())),
+        ] {
+            let report = run(
+                &s,
+                &cost,
+                EmulatorConfig {
+                    checkpoint: policy,
+                    ..cfg
+                },
+            )
+            .expect("run completes");
+            assert_eq!(
+                report.telemetry.total_ckpt_sync_ns(),
+                report.ckpt_overhead_ns
+            );
+            report
+                .telemetry
+                .check_conservation(&report.device_clocks)
+                .expect("time classes conserve");
         }
     }
 }

@@ -18,12 +18,19 @@
 //! | `ablation` | §7.1 partition ramp + per-pass ablation |
 //! | `chaos` | (robustness, not in paper) seeded single-fault injection sweep |
 //! | `degraded` | (robustness, not in paper) degraded-mode prediction: simulator vs. emulator under stragglers |
+//! | `ckptshard` | (robustness, not in paper) sharded checkpoint writes: sync vs bubble-overlapped |
+//!
+//! Every binary accepts `--json`, writing a machine-readable
+//! `results/<bench>.json` sibling of its rendered artifact (see
+//! [`summary`]).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod harness;
+pub mod summary;
 pub mod table;
 
 pub use harness::{channel_capacity, run_config, ConfigResult, ExpConfig, Variant};
+pub use summary::{json_requested, JsonObj, RunSummary};
 pub use table::{gb, gb_range, Table};

@@ -1,0 +1,259 @@
+//! Machine-readable run summaries: every bench binary accepts `--json`
+//! and writes a `results/<bench>.json` sibling next to its rendered
+//! `.txt` artifact, so CI and downstream tooling can consume the numbers
+//! without scraping tables.
+//!
+//! The writer is hand-rolled (the workspace carries no JSON dependency):
+//! a tiny object/array builder with the same escaping rules as the
+//! Chrome-trace exporter. The document shape is uniform across benches:
+//!
+//! ```json
+//! {"bench":"ckptshard","metrics":{"bubble_fraction":0.45},"rows":[...]}
+//! ```
+//!
+//! `metrics` holds the headline scalars a CI gate checks; `rows` mirrors
+//! the bench's structured result rows.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders pre-rendered JSON values as an array.
+pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// An incrementally built JSON object; field order is insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pre-rendered JSON value under `key`.
+    pub fn raw(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let rendered = json_str(value);
+        self.raw(key, rendered)
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn num(self, key: &str, value: f64) -> Self {
+        let rendered = json_f64(value);
+        self.raw(key, rendered)
+    }
+
+    /// Adds an integer field.
+    pub fn int(self, key: &str, value: impl Into<i128>) -> Self {
+        let rendered = value.into().to_string();
+        self.raw(key, rendered)
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(key));
+            out.push(':');
+            out.push_str(value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One bench run's machine-readable summary: headline metrics plus the
+/// structured result rows.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    bench: String,
+    metrics: Vec<(String, f64)>,
+    rows: Vec<JsonObj>,
+}
+
+impl RunSummary {
+    /// A summary for the bench binary named `bench` (also the output file
+    /// stem).
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            metrics: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a headline scalar to the `metrics` object.
+    pub fn metric(mut self, name: &str, value: f64) -> Self {
+        self.push_metric(name, value);
+        self
+    }
+
+    /// Non-consuming [`RunSummary::metric`], for loops.
+    pub fn push_metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// Appends one result row.
+    pub fn push_row(&mut self, row: JsonObj) {
+        self.rows.push(row);
+    }
+
+    /// Renders the full document.
+    pub fn render(&self) -> String {
+        let metrics = JsonObj {
+            fields: self
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), json_f64(*v)))
+                .collect(),
+        };
+        JsonObj::new()
+            .str("bench", &self.bench)
+            .raw("metrics", metrics.render())
+            .raw("rows", json_array(self.rows.iter().map(JsonObj::render)))
+            .render()
+    }
+
+    /// Writes `<dir>/<bench>.json`, creating the directory if needed.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.bench));
+        fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Writes `results/<bench>.json` beside the rendered `.txt` artifact.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        self.write_to(Path::new("results"))
+    }
+}
+
+/// True when the process was invoked with `--json`.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Writes the summary and reports the path on stderr (keeping stdout a
+/// clean table capture), panicking with a clear message when the
+/// filesystem refuses — a bench asked for `--json` that silently emits
+/// nothing would defeat the CI gate consuming it.
+pub fn emit(summary: &RunSummary) {
+    let path = summary.write().expect("write results/<bench>.json");
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_render_in_insertion_order() {
+        let obj = JsonObj::new()
+            .str("name", "V-ovlp")
+            .int("iter_ns", 42u64)
+            .num("ratio", 0.5)
+            .bool("ok", true);
+        assert_eq!(
+            obj.render(),
+            "{\"name\":\"V-ovlp\",\"iter_ns\":42,\"ratio\":0.5,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_floats_degrade_to_null() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\u000ad\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+    }
+
+    #[test]
+    fn summary_document_shape() {
+        let mut s = RunSummary::new("demo").metric("bubble_fraction", 0.45);
+        s.push_row(JsonObj::new().str("scheme", "V").int("base_ns", 100u64));
+        s.push_row(JsonObj::new().str("scheme", "X").int("base_ns", 200u64));
+        assert_eq!(
+            s.render(),
+            "{\"bench\":\"demo\",\"metrics\":{\"bubble_fraction\":0.45},\"rows\":[\
+             {\"scheme\":\"V\",\"base_ns\":100},{\"scheme\":\"X\",\"base_ns\":200}]}"
+        );
+    }
+
+    #[test]
+    fn writes_next_to_the_txt_artifacts() {
+        let dir = std::env::temp_dir().join("mario-summary-test");
+        let s = RunSummary::new("unit").metric("m", 1.0);
+        let path = s.write_to(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "unit.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"bench\":\"unit\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn arrays_compose_with_nested_objects() {
+        let arr = json_array(
+            [1u64, 2, 3]
+                .iter()
+                .map(|v| JsonObj::new().int("v", *v).render()),
+        );
+        assert_eq!(arr, "[{\"v\":1},{\"v\":2},{\"v\":3}]");
+        assert_eq!(json_array(std::iter::empty::<String>()), "[]");
+    }
+}

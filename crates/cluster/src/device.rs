@@ -9,8 +9,8 @@ use crate::faults::{DeviceFaults, FaultKind, FaultReport};
 use crate::link::{Header, LinkError, RecvHalf, SendHalf};
 use mario_ir::exec::MsgClass;
 use mario_ir::{
-    AllocKey, CheckpointPolicy, CostModel, DeviceId, DeviceProgram, Instr, InstrKind, MemLedger,
-    MemoryRules, Nanos,
+    AllocKey, CheckpointPolicy, CostModel, DeviceId, DeviceProgram, DeviceTelemetry, Instr,
+    InstrKind, LinkSendStats, MemLedger, MemoryRules, Nanos,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -49,6 +49,12 @@ pub struct DeviceReport {
     /// Iterations covered by this device's last completed checkpoint
     /// write (0 when no policy was active or nothing was saved).
     pub last_checkpoint: u32,
+    /// Time-class breakdown of this device's clock plus counters.
+    pub telemetry: DeviceTelemetry,
+    /// Send-side link statistics, keyed by receiving peer.
+    pub link_sends: HashMap<DeviceId, LinkSendStats>,
+    /// Total recv-wait time per sending peer, ns.
+    pub link_recv_wait: HashMap<DeviceId, Nanos>,
 }
 
 /// Shared scoreboard of completed checkpoint writes: each device records
@@ -252,6 +258,12 @@ pub struct DeviceRuntime<'a> {
     pending_chunks: VecDeque<Nanos>,
     /// Iterations the in-flight write covers once every chunk flushed.
     pending_ckpt_iters: u32,
+    /// Time-class accounting: every clock advance is classified here.
+    telemetry: DeviceTelemetry,
+    /// Send-side per-peer link statistics.
+    link_sends: HashMap<DeviceId, LinkSendStats>,
+    /// Recv-wait time per sending peer.
+    link_recv_wait: HashMap<DeviceId, Nanos>,
 }
 
 impl<'a> DeviceRuntime<'a> {
@@ -301,6 +313,9 @@ impl<'a> DeviceRuntime<'a> {
             last_checkpoint: 0,
             pending_chunks: VecDeque::new(),
             pending_ckpt_iters: 0,
+            telemetry: DeviceTelemetry::new(device),
+            link_sends: HashMap::new(),
+            link_recv_wait: HashMap::new(),
         }
     }
 
@@ -445,6 +460,7 @@ impl<'a> DeviceRuntime<'a> {
                         }
                     }
                     self.clock += dur;
+                    self.telemetry.classes.compute_ns += dur;
                     self.apply_mem(pc, instr)?;
                 }
                 InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => {
@@ -453,7 +469,9 @@ impl<'a> DeviceRuntime<'a> {
                     } else {
                         MsgClass::Grad
                     };
-                    self.clock += self.cost.p2p_launch_overhead();
+                    let launch = self.cost.p2p_launch_overhead();
+                    self.clock += launch;
+                    self.telemetry.classes.comm_launch_ns += launch;
                     let nth = {
                         let c = self.sends_to.entry(peer).or_insert(0);
                         let n = *c;
@@ -508,9 +526,21 @@ impl<'a> DeviceRuntime<'a> {
                     };
                     self.stalls.enter(self.device, peer, pc);
                     let sent = half.send_delayed(header, bytes, self.clock, delay);
+                    // Occupancy right after the send: the un-acked window,
+                    // which advances in lockstep with the simulator's
+                    // `Channel::outstanding`.
+                    let occupancy = half.outstanding() as u32;
                     self.stalls.clear(self.device);
                     match sent {
-                        Ok(t) => self.clock = t,
+                        Ok(t) => {
+                            let blocked = t.saturating_sub(self.clock);
+                            self.clock = t;
+                            self.telemetry.classes.send_blocked_ns += blocked;
+                            self.link_sends
+                                .entry(peer)
+                                .or_default()
+                                .on_send(bytes, blocked, occupancy);
+                        }
                         Err(e) => return Err(self.link_err(e, pc, instr, peer)),
                     }
                     self.apply_mem(pc, instr)?;
@@ -521,7 +551,9 @@ impl<'a> DeviceRuntime<'a> {
                     } else {
                         MsgClass::Grad
                     };
-                    self.clock += self.cost.p2p_launch_overhead();
+                    let launch = self.cost.p2p_launch_overhead();
+                    self.clock += launch;
+                    self.telemetry.classes.comm_launch_ns += launch;
                     let expect = Header {
                         class,
                         micro: instr.micro,
@@ -547,18 +579,27 @@ impl<'a> DeviceRuntime<'a> {
                     match got {
                         Ok(t) => {
                             // The wait for this message is exactly the idle
-                            // gap an async checkpoint write drains into.
-                            self.drain_chunks(t.saturating_sub(self.clock));
+                            // gap an async checkpoint write drains into; the
+                            // drained slice is checkpoint time, the rest a
+                            // genuine pipeline bubble.
+                            let gap = t.saturating_sub(self.clock);
+                            let drained = self.drain_chunks(gap);
+                            self.telemetry.classes.on_recv_gap(gap, drained);
+                            *self.link_recv_wait.entry(peer).or_default() += gap;
                             self.clock = t;
                         }
                         Err(e) => return Err(self.link_err(e, pc, instr, peer)),
                     }
                 }
                 InstrKind::AllReduce => {
-                    self.clock += self.cost.allreduce_time(self.device);
+                    let dt = self.cost.allreduce_time(self.device);
+                    self.clock += dt;
+                    self.telemetry.classes.allreduce_ns += dt;
                 }
                 InstrKind::OptimizerStep => {
-                    self.clock += self.cost.optimizer_time(self.device);
+                    let dt = self.cost.optimizer_time(self.device);
+                    self.clock += dt;
+                    self.telemetry.classes.optimizer_ns += dt;
                 }
             }
             if self.record {
@@ -576,21 +617,25 @@ impl<'a> DeviceRuntime<'a> {
     /// Flushes checkpoint chunks into an idle gap of `gap` ns observed at
     /// a blocking recv: every chunk that fits in the gap drains for free
     /// (the device would have been waiting anyway). Once the last chunk
-    /// flushes, the in-flight checkpoint becomes durable.
-    fn drain_chunks(&mut self, mut gap: Nanos) {
+    /// flushes, the in-flight checkpoint becomes durable. Returns the
+    /// flush time drained into the gap (telemetry's `ckpt_absorbed_ns`).
+    fn drain_chunks(&mut self, mut gap: Nanos) -> Nanos {
+        let mut drained = 0;
         if self.pending_chunks.is_empty() {
-            return;
+            return drained;
         }
         while let Some(&chunk) = self.pending_chunks.front() {
             if chunk > gap {
-                return;
+                return drained;
             }
             gap -= chunk;
+            drained += chunk;
             self.pending_chunks.pop_front();
             self.ckpts.record_chunk(self.device);
         }
         self.last_checkpoint = self.pending_ckpt_iters;
         self.ckpts.record(self.device, self.last_checkpoint);
+        drained
     }
 
     /// Synchronously flushes whatever is left of the in-flight async
@@ -606,6 +651,7 @@ impl<'a> DeviceRuntime<'a> {
         }
         self.pending_chunks.clear();
         self.clock += residue;
+        self.telemetry.classes.ckpt_sync_ns += residue;
         self.ckpts.record_paid(self.device, residue);
         self.last_checkpoint = self.pending_ckpt_iters;
         self.ckpts.record(self.device, self.last_checkpoint);
@@ -695,6 +741,7 @@ impl<'a> DeviceRuntime<'a> {
         } else {
             let write = policy.device_write_ns(shard);
             self.clock += write;
+            self.telemetry.classes.ckpt_sync_ns += write;
             self.ckpts.record_paid(self.device, write);
             self.last_checkpoint = iter_idx + 1;
             self.ckpts.record(self.device, self.last_checkpoint);
@@ -726,6 +773,17 @@ impl<'a> DeviceRuntime<'a> {
 
     /// Finishes the run and reports.
     pub fn finish(self) -> DeviceReport {
+        let mut telemetry = self.telemetry;
+        telemetry.peak_mem = self.ledger.peak();
+        telemetry.absorbed_faults = self.absorbed.len() as u32;
+        // The conservation invariant: every nanosecond of the clock is
+        // accounted to exactly one time class.
+        debug_assert_eq!(
+            telemetry.classes.total(),
+            self.clock,
+            "{}: time classes do not conserve the clock",
+            self.device
+        );
         DeviceReport {
             clock: self.clock,
             peak_mem: self.ledger.peak(),
@@ -733,6 +791,9 @@ impl<'a> DeviceRuntime<'a> {
             timeline: self.timeline,
             absorbed: self.absorbed,
             last_checkpoint: self.last_checkpoint,
+            telemetry,
+            link_sends: self.link_sends,
+            link_recv_wait: self.link_recv_wait,
         }
     }
 

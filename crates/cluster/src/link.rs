@@ -157,6 +157,14 @@ impl SendHalf {
         Ok(now)
     }
 
+    /// Un-acknowledged packets currently in flight. Mirrors the DP
+    /// simulator's `Channel::outstanding` counter exactly: both grow on a
+    /// send and shrink only when a capacity-blocked send consumes the
+    /// oldest ack, so per-link occupancy telemetry is parity-safe.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Drains outstanding acks at the end of an iteration so virtual time
     /// stays consistent across iterations.
     pub fn drain(&mut self, mut now: Nanos) -> Result<Nanos, LinkError> {

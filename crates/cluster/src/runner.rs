@@ -17,7 +17,7 @@ use crate::error::EmuError;
 use crate::faults::{FaultPlan, FaultReport};
 use crate::link::{link, RecvHalf, SendHalf};
 use mario_ir::exec::MsgClass;
-use mario_ir::{CheckpointPolicy, CostModel, DeviceId, InstrKind, Nanos, Schedule};
+use mario_ir::{CheckpointPolicy, CostModel, DeviceId, InstrKind, Nanos, Schedule, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -112,7 +112,14 @@ pub struct RunReport {
     /// `interval × write_ns` figure: a device that died before a write
     /// contributes nothing, and with [`mario_ir::ShardedWrite`] async
     /// overlap only the residue the bubbles could not hide is counted.
+    /// Always equal to the telemetry's summed `ckpt_sync_ns` class.
     pub ckpt_overhead_ns: Nanos,
+    /// The run's flight-recorder output: per-device time-class
+    /// breakdowns (conserving each device clock exactly) and per-link
+    /// transfer statistics. Bit-identical to the DP simulator's
+    /// telemetry on a zero-jitter run.
+    #[serde(default)]
+    pub telemetry: Telemetry,
 }
 
 impl RunReport {
@@ -330,6 +337,25 @@ pub fn run_with_faults(
             r
         })
         .collect();
+    // Assemble the flight recorder through the same constructor the DP
+    // simulator uses, so link merge/order arithmetic cannot drift.
+    let telemetry = Telemetry::assemble(
+        reports.iter().map(|r| r.telemetry.clone()).collect(),
+        reports.iter().flat_map(|r| {
+            let src = r.telemetry.device;
+            r.link_sends.iter().map(move |(&dst, &s)| ((src, dst), s))
+        }),
+        reports.iter().flat_map(|r| {
+            let dst = r.telemetry.device;
+            r.link_recv_wait.iter().map(move |(&src, &ns)| ((src, dst), ns))
+        }),
+    );
+    debug_assert!(
+        telemetry.check_conservation(&device_clocks).is_ok(),
+        "telemetry conservation violated: {:?}",
+        telemetry.check_conservation(&device_clocks)
+    );
+    debug_assert_eq!(telemetry.total_ckpt_sync_ns(), ckpts.total_paid());
     Ok(RunReport {
         total_ns,
         iter_ns,
@@ -339,6 +365,7 @@ pub fn run_with_faults(
         faults,
         last_checkpoint: cfg.checkpoint.map(|_| ckpts.cluster_saved()),
         ckpt_overhead_ns: ckpts.total_paid(),
+        telemetry,
     })
 }
 
@@ -404,10 +431,25 @@ pub fn run_with_recovery(
             ..cfg
         };
         match run_with_faults(schedule, cost, attempt_cfg, &active) {
-            Ok(report) => {
+            Ok(mut report) => {
                 // Each failed attempt ran up to its fault's virtual time
                 // before being thrown away; charge that replay cost.
                 let wasted: Nanos = fault_log.iter().map(|r| r.vtime).sum();
+                // Bin the restart-forcing faults by their *site* (the
+                // faulty component, not the observing device) onto the
+                // final report's telemetry — the per-device hard-fault
+                // counts a lemon-detecting tuner consumes.
+                for r in &fault_log {
+                    let site = r.fault.site();
+                    if let Some(d) = report
+                        .telemetry
+                        .devices
+                        .iter_mut()
+                        .find(|d| d.device == site)
+                    {
+                        d.hard_faults += 1;
+                    }
+                }
                 return Ok(RecoveredRun {
                     total_ns_with_replay: report.total_ns + wasted,
                     ckpt_overhead_ns: failed_overhead + report.ckpt_overhead_ns,
@@ -587,6 +629,7 @@ mod tests {
             faults: vec![],
             last_checkpoint: None,
             ckpt_overhead_ns: 0,
+            telemetry: Telemetry::default(),
         };
         assert!((r.throughput(128) - 64.0).abs() < 1e-9);
         assert_eq!(r.max_peak_mem(), 30);

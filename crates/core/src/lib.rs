@@ -34,11 +34,14 @@ pub use simulator::{
     simulate_timeline_iters, simulate_timeline_with, MemReport, MemSeries, SimError, SimEvent,
     SimOptions, SimReport, SimTimeline,
 };
-pub use trace::{emu_to_chrome_trace, sim_to_chrome_trace, to_chrome_trace, TraceEvent};
+pub use trace::{
+    emu_to_chrome_trace, emu_to_chrome_trace_rich, rich_chrome_trace, sim_to_chrome_trace,
+    sim_to_chrome_trace_rich, to_chrome_trace, TraceEvent, COUNTER_PID,
+};
 pub use tuner::{
     admissible, daly_interval, effective_write_ns, evaluate, fit_fault_rate, tune,
     tune_checkpoint_interval, Candidate, CandidateFailure, CheckpointTuning, Evaluation,
-    FaultHistory, SchemeChoice, TuneError, TuneResult, TunerConfig, MAX_DEGRADED_EVALS,
-    MAX_VALIDATION_RUNS,
+    FaultHistory, SchemeChoice, SearchStats, TuneError, TuneResult, TunerConfig,
+    MAX_DEGRADED_EVALS, MAX_VALIDATION_RUNS,
 };
 pub use viz::{render_ascii, render_svg, VizOptions};

@@ -21,7 +21,8 @@
 
 use mario_ir::exec::MsgClass;
 use mario_ir::{
-    CheckpointPolicy, CostModel, DeviceId, InstrKind, Nanos, PerturbationProfile, Schedule,
+    AllocKey, CheckpointPolicy, CostModel, DeviceId, DeviceTelemetry, InstrKind, LinkSendStats,
+    MemLedger, MemoryRules, Nanos, PerturbationProfile, Schedule, Telemetry,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -60,6 +61,12 @@ pub struct SimTimeline {
     /// `RunReport::last_checkpoint` semantics.
     #[serde(default)]
     pub last_checkpoint: Option<u32>,
+    /// The simulated flight-recorder output: per-device time-class
+    /// breakdowns (conserving each device clock exactly) and per-link
+    /// transfer statistics, bit-identical to a zero-jitter emulator run's
+    /// `RunReport::telemetry`.
+    #[serde(default)]
+    pub telemetry: Telemetry,
 }
 
 impl SimTimeline {
@@ -202,49 +209,66 @@ impl CkptSim {
 
     /// Flushes whole chunks into an idle gap of `gap` ns (a blocking recv
     /// wait). The checkpoint becomes durable only when the queue empties.
-    fn drain(&mut self, d: usize, mut gap: Nanos) {
+    /// Returns the flush time drained into the gap (the telemetry's
+    /// `ckpt_absorbed_ns`) — the emulator's `drain_chunks`, bit for bit.
+    fn drain(&mut self, d: usize, mut gap: Nanos) -> Nanos {
+        let mut drained = 0;
         if self.pending[d].is_empty() {
-            return;
+            return drained;
         }
         while let Some(&chunk) = self.pending[d].front() {
             if chunk > gap {
-                return;
+                return drained;
             }
             gap -= chunk;
+            drained += chunk;
             self.pending[d].pop_front();
         }
         self.last_ck[d] = self.pending_iters[d];
+        drained
     }
 
     /// Synchronously pays whatever the previous async write could not
-    /// hide, advancing the device clock.
-    fn flush_residue(&mut self, d: usize, clock: &mut Nanos) {
+    /// hide, advancing the device clock. Returns the residue paid.
+    fn flush_residue(&mut self, d: usize, clock: &mut Nanos) -> Nanos {
         if self.pending[d].is_empty() {
-            return;
+            return 0;
         }
         let residue: Nanos = self.pending[d].iter().sum();
         self.pending[d].clear();
         *clock += residue;
         self.paid[d] += residue;
         self.last_ck[d] = self.pending_iters[d];
+        residue
     }
 
     /// End-of-iteration checkpoint boundary — the mirror of the
-    /// emulator's `checkpoint_boundary`.
+    /// emulator's `checkpoint_boundary`, including the transient
+    /// serialization buffer held against `ledger` at its peak. Returns
+    /// the write time charged synchronously to the clock (the
+    /// telemetry's `ckpt_sync_ns`).
     fn boundary(
         &mut self,
         d: usize,
         iter_idx: u32,
         cost: &dyn CostModel,
         clock: &mut Nanos,
+        ledger: &mut MemLedger,
         events: &mut Vec<SimEvent>,
-    ) {
+    ) -> Nanos {
         if !self.policy.is_boundary(iter_idx) {
-            return;
+            return 0;
         }
         let dev = DeviceId(d as u32);
         let start = *clock;
-        self.flush_residue(d, clock);
+        let mut paid = self.flush_residue(d, clock);
+        // The serialization buffer counts against the peak exactly as the
+        // emulator holds it (the unchecked ledger cannot OOM — capacity
+        // enforcement is the emulator's job).
+        ledger
+            .alloc(AllocKey::Snapshot, self.policy.mem_overhead)
+            .expect("unchecked ledger never rejects the snapshot buffer");
+        ledger.free(AllocKey::Snapshot);
         let shard = cost.ckpt_shard_bytes(dev);
         if self.policy.async_overlap() {
             let chunks = self.policy.device_chunk_times(shard);
@@ -258,6 +282,7 @@ impl CkptSim {
             let write = self.policy.device_write_ns(shard);
             *clock += write;
             self.paid[d] += write;
+            paid += write;
             self.last_ck[d] = iter_idx + 1;
         }
         events.push(SimEvent {
@@ -266,13 +291,15 @@ impl CkptSim {
             start,
             end: *clock,
         });
+        paid
     }
 
     /// End-of-run drain: no bubbles remain, so any residue is paid
-    /// synchronously (the emulator's `drain_checkpoint`).
-    fn drain_end(&mut self, d: usize, clock: &mut Nanos, events: &mut Vec<SimEvent>) {
+    /// synchronously (the emulator's `drain_checkpoint`). Returns the
+    /// residue paid.
+    fn drain_end(&mut self, d: usize, clock: &mut Nanos, events: &mut Vec<SimEvent>) -> Nanos {
         let start = *clock;
-        self.flush_residue(d, clock);
+        let paid = self.flush_residue(d, clock);
         if *clock > start {
             events.push(SimEvent {
                 device: DeviceId(d as u32),
@@ -281,6 +308,7 @@ impl CkptSim {
                 end: *clock,
             });
         }
+        paid
     }
 }
 
@@ -315,6 +343,18 @@ pub fn simulate_timeline_ckpt(
     let mut events: Vec<SimEvent> =
         Vec::with_capacity(schedule.total_instrs() * iterations as usize);
     let mut ckpt = checkpoint.map(|p| CkptSim::new(p, devices));
+    // The flight recorder: per-device time classes, a memory ledger per
+    // device replaying the emulator's exact `apply` sequence (compute and
+    // send sites only), and per-link transfer statistics.
+    let mut tel: Vec<DeviceTelemetry> = (0..devices)
+        .map(|d| DeviceTelemetry::new(DeviceId(d as u32)))
+        .collect();
+    let rules = MemoryRules::new(schedule);
+    let mut ledgers: Vec<MemLedger> = (0..devices)
+        .map(|d| MemLedger::new(cost.static_mem(DeviceId(d as u32)), None))
+        .collect();
+    let mut link_sends: HashMap<(u32, u32), LinkSendStats> = HashMap::new();
+    let mut recv_waits: HashMap<(u32, u32), Nanos> = HashMap::new();
 
     // The emulator runs the checkpoint boundary every iteration even for
     // a device with an empty program; the main loop below skips such
@@ -323,7 +363,8 @@ pub fn simulate_timeline_ckpt(
         for (d, clock) in clocks.iter_mut().enumerate() {
             if schedule.program(DeviceId(d as u32)).is_empty() {
                 for it in 0..iterations {
-                    ck.boundary(d, it, cost, clock, &mut events);
+                    tel[d].classes.ckpt_sync_ns +=
+                        ck.boundary(d, it, cost, clock, &mut ledgers[d], &mut events);
                 }
             }
         }
@@ -359,34 +400,46 @@ pub fn simulate_timeline_ckpt(
                 | InstrKind::BackwardInput
                 | InstrKind::BackwardWeight
                 | InstrKind::Recompute => {
-                    clocks[d] +=
-                        profile.scaled_compute(dev, iter, lpc, cost.duration(dev, &instr));
+                    let dur = profile.scaled_compute(dev, iter, lpc, cost.duration(dev, &instr));
+                    clocks[d] += dur;
+                    tel[d].classes.compute_ns += dur;
+                    rules
+                        .apply(&mut ledgers[d], cost, dev, &instr)
+                        .expect("unchecked ledger never rejects an allocation");
                     true
                 }
                 InstrKind::AllReduce => {
-                    clocks[d] += cost.allreduce_time(dev);
+                    let dt = cost.allreduce_time(dev);
+                    clocks[d] += dt;
+                    tel[d].classes.allreduce_ns += dt;
                     true
                 }
                 InstrKind::OptimizerStep => {
-                    clocks[d] += cost.optimizer_time(dev);
+                    let dt = cost.optimizer_time(dev);
+                    clocks[d] += dt;
+                    tel[d].classes.optimizer_ns += dt;
                     true
                 }
                 InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => {
                     let class = class_of(&instr.kind);
+                    let launch = cost.p2p_launch_overhead();
                     let ch = chans.entry((dev.0, peer.0, class, instr.part.0)).or_default();
+                    let blocked;
                     if ch.outstanding == channel_capacity {
                         // Blocked until the receiver dequeues the oldest
                         // in-flight message; that time is known only after
                         // the receiver fires, so wait for it.
                         if let Some(t) = ch.dequeues.pop_front() {
                             ch.outstanding -= 1;
-                            clocks[d] =
-                                (clocks[d] + cost.p2p_launch_overhead()).max(t);
+                            let ready = clocks[d] + launch;
+                            clocks[d] = ready.max(t);
+                            blocked = clocks[d] - ready;
                         } else {
                             continue;
                         }
                     } else {
-                        clocks[d] += cost.p2p_launch_overhead();
+                        clocks[d] += launch;
+                        blocked = 0;
                     }
                     let id = MsgId {
                         class,
@@ -405,6 +458,18 @@ pub fn simulate_timeline_ckpt(
                     let extra = profile.link_extra(dev, peer, iter, nth);
                     ch.queue.push_back((id, clocks[d] + extra));
                     ch.outstanding += 1;
+                    tel[d].classes.comm_launch_ns += launch;
+                    tel[d].classes.send_blocked_ns += blocked;
+                    // Bytes are counted at the send site with the sender's
+                    // id — the emulator's exact accounting.
+                    link_sends.entry((dev.0, peer.0)).or_default().on_send(
+                        cost.boundary_bytes(dev, instr.part),
+                        blocked,
+                        ch.outstanding as u32,
+                    );
+                    rules
+                        .apply(&mut ledgers[d], cost, dev, &instr)
+                        .expect("unchecked ledger never rejects an allocation");
                     true
                 }
                 InstrKind::RecvAct { peer } | InstrKind::RecvGrad { peer } => {
@@ -424,15 +489,23 @@ pub fn simulate_timeline_ckpt(
                             }
                             ch.queue.pop_front();
                             let bytes = cost.boundary_bytes(dev, instr.part);
-                            let ready = clocks[d] + cost.p2p_launch_overhead();
+                            let launch = cost.p2p_launch_overhead();
+                            let ready = clocks[d] + launch;
                             let arrival =
                                 ready.max(sent_at + cost.p2p_time_between(peer, dev, bytes));
                             // The wait for this message is exactly the
                             // idle gap an async checkpoint write drains
                             // into — the emulator's recv-side chunk flush.
-                            if let Some(ck) = ckpt.as_mut() {
-                                ck.drain(d, arrival - ready);
-                            }
+                            // The drained slice is checkpoint time, the
+                            // rest a genuine pipeline bubble.
+                            let gap = arrival - ready;
+                            let drained = match ckpt.as_mut() {
+                                Some(ck) => ck.drain(d, gap),
+                                None => 0,
+                            };
+                            tel[d].classes.comm_launch_ns += launch;
+                            tel[d].classes.on_recv_gap(gap, drained);
+                            *recv_waits.entry((peer.0, dev.0)).or_default() += gap;
                             ch.dequeues.push_back(arrival);
                             clocks[d] = arrival;
                             true
@@ -455,7 +528,14 @@ pub fn simulate_timeline_ckpt(
                 if gpc[d].is_multiple_of(len) {
                     if let Some(ck) = ckpt.as_mut() {
                         let done = (gpc[d] / len - 1) as u32;
-                        ck.boundary(d, done, cost, &mut clocks[d], &mut events);
+                        tel[d].classes.ckpt_sync_ns += ck.boundary(
+                            d,
+                            done,
+                            cost,
+                            &mut clocks[d],
+                            &mut ledgers[d],
+                            &mut events,
+                        );
                     }
                 }
             }
@@ -483,7 +563,7 @@ pub fn simulate_timeline_ckpt(
     // synchronously so the final checkpoint is durable when the run ends.
     if let Some(ck) = ckpt.as_mut() {
         for (d, clock) in clocks.iter_mut().enumerate() {
-            ck.drain_end(d, clock, &mut events);
+            tel[d].classes.ckpt_sync_ns += ck.drain_end(d, clock, &mut events);
         }
     }
 
@@ -496,12 +576,34 @@ pub fn simulate_timeline_ckpt(
         ),
         None => (0, None),
     };
+    for (d, t) in tel.iter_mut().enumerate() {
+        t.peak_mem = ledgers[d].peak();
+    }
+    // Assemble through the shared constructor (same as the emulator's
+    // runner) and assert the conservation invariant: every nanosecond of
+    // every device clock is accounted to exactly one time class.
+    let telemetry = Telemetry::assemble(
+        tel,
+        link_sends
+            .into_iter()
+            .map(|((s, r), v)| ((DeviceId(s), DeviceId(r)), v)),
+        recv_waits
+            .into_iter()
+            .map(|((s, r), v)| ((DeviceId(s), DeviceId(r)), v)),
+    );
+    debug_assert!(
+        telemetry.check_conservation(&clocks).is_ok(),
+        "telemetry conservation violated: {:?}",
+        telemetry.check_conservation(&clocks)
+    );
+    debug_assert_eq!(telemetry.total_ckpt_sync_ns(), ckpt_overhead_ns);
     Ok(SimTimeline {
         events,
         device_clocks: clocks,
         total_ns,
         ckpt_overhead_ns,
         last_checkpoint,
+        telemetry,
     })
 }
 

@@ -2,13 +2,27 @@
 //! Trace Event Format consumed by `chrome://tracing` / Perfetto, giving an
 //! interactive alternative to the ASCII/SVG Gantt charts.
 //!
+//! Two tiers of export:
+//!
+//! * [`to_chrome_trace`] — slices grouped into one process per pipeline
+//!   *part* (parsed from the `F0^1`-style instruction notation, so
+//!   Chimera's up and down pipelines land in separate process groups),
+//!   with `process_name`/`thread_name` metadata;
+//! * [`rich_chrome_trace`] (and the [`sim_to_chrome_trace_rich`] /
+//!   [`emu_to_chrome_trace_rich`] wrappers) — additionally emits flow
+//!   arrows connecting every send slice to its matching recv slice,
+//!   per-device live-memory counter tracks (replayed through the shared
+//!   `MemoryRules` ledger), per-link queue-depth counter tracks, and
+//!   schedule-aware thread names (`device N · stage S`).
+//!
 //! The writer is self-contained (no JSON dependency): the event fields are
 //! numbers plus instruction names from our own compact notation, so the
 //! only escaping required is for the quote/backslash/control classes.
 
-use crate::simulator::SimTimeline;
+use crate::simulator::{memory_series, SimTimeline};
 use mario_cluster::TimelineEvent;
-use mario_ir::Nanos;
+use mario_ir::{CostModel, DeviceId, Nanos, PartId, Schedule};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// One trace event, format-agnostic.
 #[derive(Debug, Clone)]
@@ -22,6 +36,11 @@ pub struct TraceEvent<'a> {
     /// End, ns.
     pub end: Nanos,
 }
+
+/// The synthetic process id counter tracks are parented under, so memory
+/// and link-depth series render as one "counters" group instead of being
+/// interleaved with the per-part slice tracks.
+pub const COUNTER_PID: u32 = 9999;
 
 fn escape(s: &str, out: &mut String) {
     for c in s.chars() {
@@ -56,31 +75,256 @@ fn category(name: &str) -> &'static str {
     }
 }
 
+/// The pipeline part encoded in the instruction notation (`F3^1` → 1),
+/// used as the Perfetto process id so each part renders as its own group.
+/// Part-free instructions (`AR`, `OS`, `CKPT`) and foreign names fall back
+/// to part 0.
+fn part_of(name: &str) -> u32 {
+    let Some(caret) = name.find('^') else {
+        return 0;
+    };
+    let digits: String = name[caret + 1..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().unwrap_or(0)
+}
+
+/// Identity of one logical transfer: `(activation?, micro, part, src,
+/// dst)`. A send and its matching recv parse to the same key; repeated
+/// iterations repeat keys and are paired FIFO.
+type XferKey = (bool, u32, u32, u32, u32);
+
+fn xfer_key(device: u32, name: &str, send: bool) -> Option<XferKey> {
+    let (prefix_act, prefix_grad, sep) = if send {
+        ("SA", "SG", '>')
+    } else {
+        ("RA", "RG", '<')
+    };
+    let act = if name.starts_with(prefix_act) {
+        true
+    } else if name.starts_with(prefix_grad) {
+        false
+    } else {
+        return None;
+    };
+    let (mp, peer) = name[2..].split_once(sep)?;
+    let (m, p) = mp.split_once('^')?;
+    let peer: u32 = peer.strip_prefix('d')?.parse().ok()?;
+    let (m, p) = (m.parse().ok()?, p.parse().ok()?);
+    Some(if send {
+        (act, m, p, device, peer)
+    } else {
+        (act, m, p, peer, device)
+    })
+}
+
+/// Incremental Trace Event Format writer.
+struct Writer {
+    out: String,
+    first: bool,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self {
+            out: String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    fn open(&mut self) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+    }
+
+    fn slice(&mut self, pid: u32, tid: u32, name: &str, start: Nanos, end: Nanos) {
+        self.open();
+        self.out
+            .push_str(&format!("{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\""));
+        escape(name, &mut self.out);
+        self.out.push_str("\",\"cat\":\"");
+        self.out.push_str(category(name));
+        self.out.push_str(&format!(
+            "\",\"ts\":{:.3},\"dur\":{:.3}}}",
+            start as f64 / 1e3,
+            (end - start) as f64 / 1e3
+        ));
+    }
+
+    /// `M`-phase metadata: names a process (`tid: None`) or a thread.
+    fn metadata(&mut self, pid: u32, tid: Option<u32>, kind: &str, name: &str) {
+        self.open();
+        self.out.push_str(&format!("{{\"ph\":\"M\",\"pid\":{pid}"));
+        if let Some(tid) = tid {
+            self.out.push_str(&format!(",\"tid\":{tid}"));
+        }
+        self.out.push_str(&format!(",\"name\":\"{kind}\",\"args\":{{\"name\":\""));
+        escape(name, &mut self.out);
+        self.out.push_str("\"}}");
+    }
+
+    fn counter(&mut self, pid: u32, name: &str, ts: Nanos, series: &str, value: u64) {
+        self.open();
+        self.out.push_str(&format!("{{\"ph\":\"C\",\"pid\":{pid},\"name\":\""));
+        escape(name, &mut self.out);
+        self.out.push_str(&format!(
+            "\",\"ts\":{:.3},\"args\":{{\"{series}\":{value}}}}}",
+            ts as f64 / 1e3
+        ));
+    }
+
+    /// A flow arrow `s`/`f` pair binding a send slice to its recv slice.
+    fn flow(&mut self, id: u64, from: (u32, u32, Nanos), to: (u32, u32, Nanos)) {
+        self.open();
+        self.out.push_str(&format!(
+            "{{\"ph\":\"s\",\"id\":{id},\"pid\":{},\"tid\":{},\"ts\":{:.3},\"name\":\"xfer\",\"cat\":\"flow\"}}",
+            from.0,
+            from.1,
+            from.2 as f64 / 1e3
+        ));
+        self.open();
+        self.out.push_str(&format!(
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"pid\":{},\"tid\":{},\"ts\":{:.3},\"name\":\"xfer\",\"cat\":\"flow\"}}",
+            to.0,
+            to.1,
+            to.2 as f64 / 1e3
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("]}");
+        self.out
+    }
+}
+
+/// Emits slices plus the process/thread naming metadata. Thread names come
+/// from `thread_name(part, device)`.
+fn write_slices<'a>(
+    w: &mut Writer,
+    events: &[TraceEvent<'a>],
+    thread_name: impl Fn(u32, u32) -> String,
+) {
+    // (part → devices) seen, for the metadata pass.
+    let mut groups: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for e in events {
+        let pid = part_of(e.name);
+        groups.entry(pid).or_default().insert(e.device);
+        w.slice(pid, e.device, e.name, e.start, e.end);
+    }
+    for (pid, devices) in groups {
+        w.metadata(pid, None, "process_name", &format!("pipeline part {pid}"));
+        for d in devices {
+            w.metadata(pid, Some(d), "thread_name", &thread_name(pid, d));
+        }
+    }
+}
+
 /// Renders events as a Chrome Trace Event Format JSON document
 /// (`displayTimeUnit: ns`; durations are emitted in microseconds as the
-/// format requires).
+/// format requires). Slices are grouped into one process per pipeline
+/// part — Chimera's two pipelines get separate groups instead of the
+/// historical constant `pid 0` — and every process/thread carries naming
+/// metadata.
 pub fn to_chrome_trace<'a>(events: impl IntoIterator<Item = TraceEvent<'a>>) -> String {
-    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-    let mut first = true;
+    let events: Vec<TraceEvent<'a>> = events.into_iter().collect();
+    let mut w = Writer::new();
+    write_slices(&mut w, &events, |_, d| format!("device {d}"));
+    w.finish()
+}
+
+/// The enriched export: slices and naming metadata (threads are
+/// `device N · stage S`, the stage resolved through the schedule's
+/// virtual-pipeline topology), flow arrows binding each send to the recv
+/// that consumes its payload (paired FIFO per logical transfer, so
+/// multi-iteration timelines pair correctly), a live-memory counter track
+/// per device (the schedule replayed through the shared `MemoryRules`
+/// ledger — the same arithmetic both executors charge), and a queue-depth
+/// counter track per directed link (+1 when a send completes, −1 when the
+/// matching recv drains it). Counter tracks live under the synthetic
+/// [`COUNTER_PID`] process.
+///
+/// Memory counters replay the fault-free program, so on a faulted
+/// emulator timeline they describe the schedule's intended footprint, not
+/// the truncated run.
+pub fn rich_chrome_trace<'a>(
+    events: &[TraceEvent<'a>],
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+) -> String {
+    let topo = &schedule.topology;
+    let mut w = Writer::new();
+    write_slices(&mut w, events, |p, d| {
+        format!(
+            "device {d} · stage {}",
+            topo.stage_of(DeviceId(d), PartId(p)).0
+        )
+    });
+
+    // Flow arrows: sends queue their slice under the transfer key, recvs
+    // consume FIFO. An `s` event anchors at the send slice start and the
+    // matching `f` at the recv slice end, so the arrow spans the whole
+    // transfer even when backpressure stretches the send.
+    // Two passes because the event stream is start-ordered and a recv
+    // slice can *start* (begin waiting) before its send slice does: first
+    // queue every send under its key, then pair recvs FIFO — per key both
+    // sides come from a single device, so array order is program order.
+    let mut pending: HashMap<XferKey, VecDeque<&TraceEvent<'a>>> = HashMap::new();
+    let mut next_id = 0u64;
+    // Queue-depth deltas per directed link: +1 at send end, −1 at recv end.
+    let mut depth: BTreeMap<(u32, u32), Vec<(Nanos, i64)>> = BTreeMap::new();
     for e in events {
-        if !first {
-            out.push(',');
+        if let Some(key) = xfer_key(e.device, e.name, true) {
+            pending.entry(key).or_default().push_back(e);
+            depth.entry((key.3, key.4)).or_default().push((e.end, 1));
         }
-        first = false;
-        out.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":");
-        out.push_str(&e.device.to_string());
-        out.push_str(",\"name\":\"");
-        escape(e.name, &mut out);
-        out.push_str("\",\"cat\":\"");
-        out.push_str(category(e.name));
-        out.push_str("\",\"ts\":");
-        out.push_str(&format!("{:.3}", e.start as f64 / 1e3));
-        out.push_str(",\"dur\":");
-        out.push_str(&format!("{:.3}", (e.end - e.start) as f64 / 1e3));
-        out.push('}');
     }
-    out.push_str("]}");
-    out
+    for e in events {
+        if let Some(key) = xfer_key(e.device, e.name, false) {
+            if let Some(send) = pending.get_mut(&key).and_then(VecDeque::pop_front) {
+                w.flow(
+                    next_id,
+                    (part_of(send.name), send.device, send.start),
+                    (part_of(e.name), e.device, e.end),
+                );
+                next_id += 1;
+            }
+            depth.entry((key.3, key.4)).or_default().push((e.end, -1));
+        }
+    }
+
+    // Live-memory counters: each device's non-checkpoint events follow its
+    // program order, so the per-instruction ledger series maps onto event
+    // end times (cycled per iteration for multi-iteration timelines).
+    w.metadata(COUNTER_PID, None, "process_name", "counters");
+    for series in memory_series(schedule, cost) {
+        let d = series.device;
+        if series.points.is_empty() {
+            continue;
+        }
+        let name = format!("mem d{}", d.0);
+        let mut i = 0usize;
+        for e in events.iter().filter(|e| e.device == d.0 && e.name != "CKPT") {
+            w.counter(COUNTER_PID, &name, e.end, "bytes", series.points[i].1);
+            i = (i + 1) % series.points.len();
+        }
+    }
+
+    // Link queue-depth counters: accumulate the deltas in time order (a
+    // drain at the same instant applies before a fill, keeping the series
+    // at its minimal envelope).
+    for ((src, dst), mut deltas) in depth {
+        deltas.sort_by_key(|&(ts, delta)| (ts, delta));
+        let name = format!("link d{src}\u{2192}d{dst}");
+        let mut level = 0i64;
+        for (ts, delta) in deltas {
+            level += delta;
+            w.counter(COUNTER_PID, &name, ts, "packets", level.max(0) as u64);
+        }
+    }
+    w.finish()
 }
 
 /// Exports a simulated timeline.
@@ -101,6 +345,46 @@ pub fn emu_to_chrome_trace(events: &[TimelineEvent]) -> String {
         start: e.start,
         end: e.end,
     }))
+}
+
+/// Exports a simulated timeline with flow arrows, counter tracks and
+/// schedule-aware thread names (see [`rich_chrome_trace`]).
+pub fn sim_to_chrome_trace_rich(
+    t: &SimTimeline,
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+) -> String {
+    let events: Vec<TraceEvent<'_>> = t
+        .events
+        .iter()
+        .map(|e| TraceEvent {
+            device: e.device.0,
+            name: &e.instr,
+            start: e.start,
+            end: e.end,
+        })
+        .collect();
+    rich_chrome_trace(&events, schedule, cost)
+}
+
+/// Exports an emulated timeline with flow arrows, counter tracks and
+/// schedule-aware thread names (requires `record_timeline: true`; see
+/// [`rich_chrome_trace`]).
+pub fn emu_to_chrome_trace_rich(
+    events: &[TimelineEvent],
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+) -> String {
+    let events: Vec<TraceEvent<'_>> = events
+        .iter()
+        .map(|e| TraceEvent {
+            device: e.device.0,
+            name: &e.instr,
+            start: e.start,
+            end: e.end,
+        })
+        .collect();
+    rich_chrome_trace(&events, schedule, cost)
 }
 
 #[cfg(test)]
@@ -180,5 +464,102 @@ mod tests {
         .unwrap();
         let json = emu_to_chrome_trace(&r.timeline);
         assert_eq!(json.matches("\"ph\":\"X\"").count(), s.total_instrs());
+    }
+
+    #[test]
+    fn metadata_names_every_process_and_thread() {
+        let json = trace();
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("pipeline part 0"));
+        assert!(json.contains("device 0"));
+        // 1F1B has a single part, so a single process group.
+        assert!(!json.contains("pipeline part 1"));
+    }
+
+    #[test]
+    fn chimera_parts_get_separate_process_groups() {
+        let s = generate(ScheduleConfig::new(SchemeKind::Chimera, 2, 2));
+        let t = simulate_timeline(&s, &UnitCost::paper_grid(), 2).unwrap();
+        let json = sim_to_chrome_trace(&t);
+        // Both pipelines present, each with its own named process.
+        assert!(json.contains("pipeline part 0"));
+        assert!(json.contains("pipeline part 1"));
+        assert!(json.contains("\"pid\":1,"));
+    }
+
+    #[test]
+    fn part_parsing_handles_every_notation() {
+        assert_eq!(part_of("F3^1"), 1);
+        assert_eq!(part_of("SA0^12>d1"), 12);
+        assert_eq!(part_of("AR"), 0);
+        assert_eq!(part_of("CKPT"), 0);
+        assert_eq!(part_of("we^ird"), 0);
+    }
+
+    #[test]
+    fn transfer_keys_pair_sends_with_recvs() {
+        // d0 sends act (micro 0, part 1) to d2; d2 receives it.
+        assert_eq!(xfer_key(0, "SA0^1>d2", true), Some((true, 0, 1, 0, 2)));
+        assert_eq!(xfer_key(2, "RA0^1<d0", false), Some((true, 0, 1, 0, 2)));
+        // Gradients pair too, and directions are distinct keys.
+        assert_eq!(xfer_key(2, "SG0^0>d1", true), Some((false, 0, 0, 2, 1)));
+        assert_eq!(xfer_key(1, "RG0^0<d2", false), Some((false, 0, 0, 2, 1)));
+        // Non-transfers parse to nothing.
+        assert_eq!(xfer_key(0, "F0^0", true), None);
+        assert_eq!(xfer_key(0, "AR", false), None);
+    }
+
+    #[test]
+    fn rich_trace_pairs_every_transfer_with_a_flow_arrow() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 3, 3));
+        let cost = UnitCost::paper_grid();
+        let t = simulate_timeline(&s, &cost, 1).unwrap();
+        let json = sim_to_chrome_trace_rich(&t, &s, &cost);
+        let sends = t
+            .events
+            .iter()
+            .filter(|e| e.instr.starts_with("SA") || e.instr.starts_with("SG"))
+            .count();
+        assert!(sends > 0);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), sends);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), sends);
+        // Schedule-aware thread names and both counter families present.
+        assert!(json.contains("device 0 · stage 0"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("mem d0"));
+        assert!(json.contains("link d0\u{2192}d1"));
+        assert!(json.contains("\"name\":\"counters\""));
+        // Still structurally sound.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn rich_trace_covers_the_emulator_and_multi_part_schemes() {
+        let s = generate(ScheduleConfig::new(SchemeKind::Chimera, 2, 2));
+        let cost = UnitCost::paper_grid();
+        let r = mario_cluster::run(
+            &s,
+            &cost,
+            mario_cluster::EmulatorConfig {
+                record_timeline: true,
+                channel_capacity: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let json = emu_to_chrome_trace_rich(&r.timeline, &s, &cost);
+        // Chimera device 0 hosts stage 0 of part 0 and the last stage of
+        // part 1 — the thread metadata reflects both.
+        assert!(json.contains("device 0 · stage 0"));
+        assert!(json.contains("pipeline part 1"));
+        let sends = r
+            .timeline
+            .iter()
+            .filter(|e| e.instr.starts_with("SA") || e.instr.starts_with("SG"))
+            .count();
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), sends);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), sends);
     }
 }

@@ -9,11 +9,13 @@ use crate::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
 use crate::simulator::{simulate_memory, simulate_timeline, simulate_timeline_with, SimError};
 use mario_cluster::{FaultPlan, FaultReport};
 use mario_ir::{
-    min_channel_capacity, CheckpointPolicy, PerturbationProfile, Schedule, SchemeKind, Topology,
+    min_channel_capacity, CheckpointPolicy, DeviceId, PerturbationProfile, Schedule, SchemeKind,
+    Topology,
 };
 use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
 use mario_schedules::{generate, ScheduleConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Scheme selection: fixed or automatic (paper Listing 1:
@@ -152,6 +154,30 @@ impl FaultHistory {
     /// [`fit_fault_rate`]).
     pub fn fitted_rate(&self) -> Option<f64> {
         fit_fault_rate(&self.reports, self.iterations)
+    }
+
+    /// Hard-fault (restart-forcing) events binned by the faulty
+    /// component's device (`FaultKind::site`), sorted by device id. Uses
+    /// the same counting rules as [`fit_fault_rate`]: absorbable faults
+    /// are skipped and a correlated group is ONE event, attributed to the
+    /// site of its first report. This is the device-binning hook for
+    /// fitting per-device fault rates from a shared history.
+    pub fn hard_faults_by_device(&self) -> Vec<(DeviceId, u64)> {
+        let mut seen_groups: Vec<&str> = Vec::new();
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for r in &self.reports {
+            if r.fault.is_absorbable() {
+                continue;
+            }
+            if let Some(g) = r.group.as_deref() {
+                if seen_groups.contains(&g) {
+                    continue;
+                }
+                seen_groups.push(g);
+            }
+            *counts.entry(r.fault.site().0).or_default() += 1;
+        }
+        counts.into_iter().map(|(d, n)| (DeviceId(d), n)).collect()
     }
 }
 
@@ -365,6 +391,42 @@ impl Evaluation {
     }
 }
 
+/// Search-effort accounting for one [`tune`] invocation: how many grid
+/// points were generated, why the rejected ones were pruned, and how much
+/// simulation/emulation work the search spent. Attached to
+/// [`TuneResult::stats`] so benches and the flight recorder can report
+/// search cost next to search outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Grid points enumerated (every `(scheme, pp, mbs, a)` combination
+    /// the loops visited).
+    pub generated: u64,
+    /// Pruned before simulation: structurally inadmissible (divisibility,
+    /// scheme constraints, too few layers).
+    pub inadmissible: u64,
+    /// Candidates carried through schedule generation + simulation.
+    pub simulated: u64,
+    /// Simulated candidates pruned for exceeding the memory budget (the
+    /// Eq. 1 penalty).
+    pub pruned_oom: u64,
+    /// Simulated candidates pruned by a simulation failure (deadlock or
+    /// mis-paired communication).
+    pub pruned_sim_failure: u64,
+    /// Re-simulations under [`TunerConfig::perturbation`] (bounded by
+    /// [`MAX_DEGRADED_EVALS`]).
+    pub degraded_evals: u64,
+    /// Cluster-emulator validation runs (bounded by
+    /// [`MAX_VALIDATION_RUNS`]).
+    pub emulator_runs: u64,
+    /// Top-level DP timeline-simulator invocations (one per simulated
+    /// candidate plus one per degraded re-evaluation; prepose-internal
+    /// simulations are not counted).
+    pub dp_invocations: u64,
+    /// Wall-clock time of the search (equals
+    /// [`TuneResult::tuning_time`]).
+    pub wall_time: Duration,
+}
+
 /// The outcome of a grid search.
 #[derive(Debug, Clone)]
 pub struct TuneResult {
@@ -380,6 +442,9 @@ pub struct TuneResult {
     /// time. `None` when no tuning inputs were given or the fault plan
     /// carries no hard fault.
     pub checkpoint_policy: Option<CheckpointPolicy>,
+    /// Search-effort accounting: candidates generated, pruned (with
+    /// cause), simulated, emulated, and wall time.
+    pub stats: SearchStats,
     /// Wall-clock time of the search.
     pub tuning_time: Duration,
 }
@@ -560,6 +625,7 @@ pub fn evaluate(
 /// Runs the full grid search (Equation 1).
 pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<TuneResult, TuneError> {
     let started = Instant::now();
+    let mut stats = SearchStats::default();
     let mut curve = Vec::new();
     for scheme in cfg.scheme_choice.schemes() {
         for pp in 1..=cfg.total_devices {
@@ -576,8 +642,19 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
                         mbs,
                         mario,
                     };
-                    if let Some(eval) = evaluate(model, gpu, cfg, cand) {
-                        curve.push(eval);
+                    stats.generated += 1;
+                    match evaluate(model, gpu, cfg, cand) {
+                        Some(eval) => {
+                            stats.simulated += 1;
+                            stats.dp_invocations += 1;
+                            match eval.failure {
+                                Some(CandidateFailure::Oom { .. }) => stats.pruned_oom += 1,
+                                Some(_) => stats.pruned_sim_failure += 1,
+                                None => {}
+                            }
+                            curve.push(eval);
+                        }
+                        None => stats.inadmissible += 1,
                     }
                 }
             }
@@ -600,6 +677,8 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
                 continue;
             };
             let (schedule, cost, cap) = build_schedule(model, gpu, cfg, cand, micros);
+            stats.degraded_evals += 1;
+            stats.dp_invocations += 1;
             if let Ok(t) = simulate_timeline_with(&schedule, &cost, cap, profile) {
                 curve[i].degraded_iter_ns = Some(t.total_ns);
             }
@@ -622,6 +701,7 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
     let mut best: Option<Evaluation> = None;
     if cfg.validate_on_emulator {
         let k = order.len().min(MAX_VALIDATION_RUNS);
+        stats.emulator_runs += k as u64;
         let outcomes: Vec<Result<(), CandidateFailure>> = std::thread::scope(|scope| {
             let handles: Vec<_> = order[..k]
                 .iter()
@@ -657,12 +737,15 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
         .checkpoint
         .as_ref()
         .and_then(|t| tune_checkpoint_interval(best.iter_ns, t));
+    let tuning_time = started.elapsed();
+    stats.wall_time = tuning_time;
     Ok(TuneResult {
         best,
         curve,
         rejected,
         checkpoint_policy,
-        tuning_time: started.elapsed(),
+        stats,
+        tuning_time,
     })
 }
 
@@ -1213,6 +1296,113 @@ mod tests {
             .min()
             .unwrap();
         assert_eq!(r.best.degraded_iter_ns.unwrap(), best_degraded);
+    }
+
+    #[test]
+    fn search_stats_account_for_every_grid_point() {
+        let cfg = small_cfg();
+        let r = tune(&ModelConfig::gpt3_1_6b(), &GpuSpec::a100_40g(), &cfg).unwrap();
+        let s = &r.stats;
+        // Every generated point is either inadmissible or simulated...
+        assert!(s.generated > 0);
+        assert_eq!(s.generated, s.inadmissible + s.simulated);
+        // ...and the simulated ones are exactly the curve.
+        assert_eq!(s.simulated, r.curve.len() as u64);
+        // Pruned counts match the failures recorded on the curve.
+        let oom = r
+            .curve
+            .iter()
+            .filter(|e| matches!(e.failure, Some(CandidateFailure::Oom { .. })))
+            .count() as u64;
+        let simfail = r
+            .curve
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.failure,
+                    Some(CandidateFailure::SimDeadlock(_) | CandidateFailure::SimMismatch(_))
+                )
+            })
+            .count() as u64;
+        assert_eq!(s.pruned_oom, oom);
+        assert_eq!(s.pruned_sim_failure, simfail);
+        // No degraded profile, no emulator validation: one DP invocation
+        // per simulated candidate and zero extra effort.
+        assert_eq!(s.dp_invocations, s.simulated);
+        assert_eq!(s.degraded_evals, 0);
+        assert_eq!(s.emulator_runs, 0);
+        assert_eq!(s.wall_time, r.tuning_time);
+
+        // Degraded re-evaluation and emulator validation add their bounded
+        // extra effort to the ledger.
+        let cfg = TunerConfig {
+            perturbation: Some(
+                mario_ir::PerturbationProfile::identity()
+                    .with_straggler(mario_ir::DeviceId(0), 4.0),
+            ),
+            validate_on_emulator: true,
+            ..small_cfg()
+        };
+        let r = tune(&ModelConfig::gpt3_1_6b(), &GpuSpec::a100_40g(), &cfg).unwrap();
+        let s = &r.stats;
+        assert!(s.degraded_evals > 0 && s.degraded_evals <= MAX_DEGRADED_EVALS as u64);
+        assert!(s.emulator_runs > 0 && s.emulator_runs <= MAX_VALIDATION_RUNS as u64);
+        assert_eq!(s.dp_invocations, s.simulated + s.degraded_evals);
+    }
+
+    #[test]
+    fn hard_faults_bin_by_faulty_device_with_group_dedup() {
+        use mario_cluster::FaultKind;
+        use mario_ir::DeviceId;
+        let crash0 = FaultKind::Crash {
+            device: DeviceId(0),
+            pc: 0,
+        };
+        let crash2 = FaultKind::Crash {
+            device: DeviceId(2),
+            pc: 1,
+        };
+        let slow1 = FaultKind::Slowdown {
+            device: DeviceId(1),
+            factor: 2.0,
+            from_pc: 0,
+            until_pc: 4,
+        };
+        let mut h = FaultHistory::default();
+        // Absorbable faults never count.
+        h.record([fault_report(slow1, None)], 8);
+        assert!(h.hard_faults_by_device().is_empty());
+        // Independent hard faults bin by the faulty component's device —
+        // two on device 0, one on device 2.
+        h.record(
+            [
+                fault_report(crash0, None),
+                fault_report(crash0, None),
+                fault_report(crash2, None),
+            ],
+            8,
+        );
+        assert_eq!(
+            h.hard_faults_by_device(),
+            vec![(DeviceId(0), 2), (DeviceId(2), 1)]
+        );
+        // A correlated burst is one event, attributed to its first
+        // report's site — device 2 gains one, the grouped crash on
+        // device 0 adds nothing more.
+        h.record(
+            [
+                fault_report(crash2, Some("rack-1")),
+                fault_report(crash0, Some("rack-1")),
+            ],
+            8,
+        );
+        assert_eq!(
+            h.hard_faults_by_device(),
+            vec![(DeviceId(0), 2), (DeviceId(2), 2)]
+        );
+        // The total matches the rate-fit's event count.
+        let events: u64 = h.hard_faults_by_device().iter().map(|(_, n)| n).sum();
+        assert_eq!(h.fitted_rate(), Some(events as f64 / 24.0));
     }
 
     #[test]

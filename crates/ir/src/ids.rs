@@ -13,7 +13,8 @@ macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident, $short:expr) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
+            Deserialize,
         )]
         pub struct $name(pub u32);
 

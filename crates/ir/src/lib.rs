@@ -26,6 +26,9 @@
 //! * [`checkpoint`] — the model-state checkpointing policy (periodic
 //!   checkpoint writes with explicit time and memory cost) the cluster
 //!   emulator charges and its recovery loop resumes from;
+//! * [`telemetry`] — the unified time-class flight recorder (per-device
+//!   time breakdowns, per-link transfer statistics) populated with
+//!   identical arithmetic by the simulator and the emulator;
 //! * [`validate`] / [`exec`] — structural validation plus symbolic
 //!   execution proving schedules deadlock-free under blocking p2p.
 
@@ -41,6 +44,7 @@ pub mod list;
 pub mod perturb;
 pub mod rules;
 pub mod schedule;
+pub mod telemetry;
 pub mod text;
 pub mod topology;
 pub mod validate;
@@ -55,6 +59,7 @@ pub use list::DeviceProgram;
 pub use perturb::{LinkSlack, PerturbationProfile, SlowdownWindow};
 pub use rules::MemoryRules;
 pub use schedule::Schedule;
+pub use telemetry::{DeviceTelemetry, LinkSendStats, LinkTelemetry, Telemetry, TimeClasses};
 pub use text::{from_text, to_text};
 pub use topology::{SchemeKind, Topology};
 pub use validate::{validate, validate_with, ValidateOptions, ValidationError};

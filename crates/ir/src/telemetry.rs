@@ -1,0 +1,347 @@
+//! Unified time-class telemetry — the flight recorder shared by the DP
+//! simulator and the cluster emulator.
+//!
+//! Both executors account every nanosecond of every device clock into the
+//! same eight [`TimeClasses`], populated with *identical arithmetic* at
+//! identical points (compute completion, send launch/block, recv wait,
+//! checkpoint flush). The payoff is twofold:
+//!
+//! * **conservation** — per device, the classes sum exactly to the final
+//!   clock ([`DeviceTelemetry::check_conservation`]); nothing is dropped
+//!   and nothing is double-counted (checkpoint chunks absorbed into recv
+//!   bubbles are carved *out* of `recv_blocked_ns` into
+//!   `ckpt_absorbed_ns`, never counted twice);
+//! * **parity** — with zero jitter the emulator's and simulator's full
+//!   [`Telemetry`] agree bit for bit, the same property the repo already
+//!   pins for makespans and peak memory.
+//!
+//! Per-link statistics ride along: packet/byte counts and blocked time on
+//! each directed device pair, plus the maximum channel occupancy ever
+//! observed (the emulator's un-acked send window and the simulator's
+//! `outstanding` counter advance in lockstep, so even this is
+//! parity-exact).
+
+use crate::cost::Nanos;
+use crate::ids::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Where one device's virtual time went, by class. All classes are
+/// disjoint and exhaustive: they sum to the device's final clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeClasses {
+    /// Compute kernels (forward, backward, recompute), including any
+    /// jitter, straggler factor or absorbed slowdown inflation.
+    pub compute_ns: Nanos,
+    /// Fixed p2p launch overhead paid at every send and recv.
+    pub comm_launch_ns: Nanos,
+    /// Waiting for channel capacity at sends (backpressure bubble).
+    pub send_blocked_ns: Nanos,
+    /// Waiting for a message at recvs (pipeline bubble), *excluding* the
+    /// portion async checkpoint chunks drained into.
+    pub recv_blocked_ns: Nanos,
+    /// Recv-wait time consumed by asynchronously flushed checkpoint
+    /// chunks — write cost the bubbles absorbed for free.
+    pub ckpt_absorbed_ns: Nanos,
+    /// Checkpoint write time charged synchronously to the clock:
+    /// flat/sync-sharded boundary writes plus any async residue flushes.
+    pub ckpt_sync_ns: Nanos,
+    /// Gradient all-reduce time.
+    pub allreduce_ns: Nanos,
+    /// Optimizer step time.
+    pub optimizer_ns: Nanos,
+}
+
+impl TimeClasses {
+    /// Sum of every class — must equal the device's final clock.
+    pub fn total(&self) -> Nanos {
+        self.compute_ns
+            + self.comm_launch_ns
+            + self.send_blocked_ns
+            + self.recv_blocked_ns
+            + self.ckpt_absorbed_ns
+            + self.ckpt_sync_ns
+            + self.allreduce_ns
+            + self.optimizer_ns
+    }
+
+    /// Idle bubble time: send backpressure plus recv waits (the slots
+    /// Mario hides recomputation and checkpoint chunks in). Absorbed
+    /// chunk time is *not* a bubble — the device was writing.
+    pub fn bubble_ns(&self) -> Nanos {
+        self.send_blocked_ns + self.recv_blocked_ns
+    }
+
+    /// Records a blocking-recv wait of `gap` ns of which `drained` ns
+    /// were consumed flushing checkpoint chunks. The single place the
+    /// bubble/checkpoint split is decided, so the two classes can never
+    /// double-count.
+    ///
+    /// # Panics
+    /// Panics when `drained > gap` (chunks cannot drain time that was
+    /// never idle).
+    pub fn on_recv_gap(&mut self, gap: Nanos, drained: Nanos) {
+        assert!(drained <= gap, "drained {drained} ns > recv gap {gap} ns");
+        self.recv_blocked_ns += gap - drained;
+        self.ckpt_absorbed_ns += drained;
+    }
+}
+
+/// One device's telemetry: time classes plus counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceTelemetry {
+    /// The device.
+    pub device: DeviceId,
+    /// Time-class breakdown of the device's final clock.
+    pub classes: TimeClasses,
+    /// Peak memory footprint, bytes.
+    pub peak_mem: u64,
+    /// Faults this device absorbed without failing (slowdowns, delays).
+    pub absorbed_faults: u32,
+    /// Restart-forcing faults attributed to this device across a
+    /// recovery session (0 on a single clean run).
+    pub hard_faults: u32,
+}
+
+impl DeviceTelemetry {
+    /// Empty telemetry for `device`.
+    pub fn new(device: DeviceId) -> Self {
+        Self {
+            device,
+            ..Self::default()
+        }
+    }
+
+    /// Verifies the conservation invariant against the device's final
+    /// `clock`: Σ time classes == clock.
+    pub fn check_conservation(&self, clock: Nanos) -> Result<(), String> {
+        let total = self.classes.total();
+        if total == clock {
+            Ok(())
+        } else {
+            Err(format!(
+                "{}: time classes sum to {total} ns but the clock reads {clock} ns ({:?})",
+                self.device, self.classes
+            ))
+        }
+    }
+}
+
+/// Send-side statistics one device accumulates per outgoing link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSendStats {
+    /// Packets sent.
+    pub packets: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Time the sender spent blocked on channel capacity, ns.
+    pub blocked_ns: Nanos,
+    /// Maximum un-acked packets ever in flight (channel occupancy).
+    pub max_occupancy: u32,
+}
+
+impl LinkSendStats {
+    /// Records one completed send: `bytes` of payload, `blocked` ns of
+    /// capacity wait, `occupancy` packets in flight after the send.
+    pub fn on_send(&mut self, bytes: u64, blocked: Nanos, occupancy: u32) {
+        self.packets += 1;
+        self.bytes += bytes;
+        self.blocked_ns += blocked;
+        self.max_occupancy = self.max_occupancy.max(occupancy);
+    }
+}
+
+/// Telemetry for one directed link, aggregated over message classes and
+/// partitions between the pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkTelemetry {
+    /// Sending device.
+    pub src: DeviceId,
+    /// Receiving device.
+    pub dst: DeviceId,
+    /// Packets transferred.
+    pub packets: u64,
+    /// Payload bytes transferred.
+    pub bytes: u64,
+    /// Sender time blocked on channel capacity, ns.
+    pub send_blocked_ns: Nanos,
+    /// Receiver time waiting at recvs on this link, ns (the full wait,
+    /// including any slice checkpoint chunks drained into).
+    pub recv_wait_ns: Nanos,
+    /// Maximum packets ever simultaneously in flight.
+    pub max_occupancy: u32,
+}
+
+/// The full flight-recorder output of one run: per-device time-class
+/// breakdowns and per-link transfer statistics, ordered by device and by
+/// `(src, dst)` respectively.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Per-device breakdowns, in device order.
+    pub devices: Vec<DeviceTelemetry>,
+    /// Per-link statistics, ordered by `(src, dst)`.
+    pub links: Vec<LinkTelemetry>,
+}
+
+impl Telemetry {
+    /// Assembles the final telemetry from per-device breakdowns plus the
+    /// send-side and recv-side link statistics both executors collect.
+    /// Both call this same constructor, so link ordering and merge
+    /// arithmetic cannot drift between them.
+    pub fn assemble(
+        devices: Vec<DeviceTelemetry>,
+        sends: impl IntoIterator<Item = ((DeviceId, DeviceId), LinkSendStats)>,
+        recv_waits: impl IntoIterator<Item = ((DeviceId, DeviceId), Nanos)>,
+    ) -> Self {
+        let mut map: BTreeMap<(u32, u32), LinkTelemetry> = BTreeMap::new();
+        for ((src, dst), s) in sends {
+            let link = map.entry((src.0, dst.0)).or_insert(LinkTelemetry {
+                src,
+                dst,
+                ..Default::default()
+            });
+            link.packets += s.packets;
+            link.bytes += s.bytes;
+            link.send_blocked_ns += s.blocked_ns;
+            link.max_occupancy = link.max_occupancy.max(s.max_occupancy);
+        }
+        for ((src, dst), wait) in recv_waits {
+            let link = map.entry((src.0, dst.0)).or_insert(LinkTelemetry {
+                src,
+                dst,
+                ..Default::default()
+            });
+            link.recv_wait_ns += wait;
+        }
+        Self {
+            devices,
+            links: map.into_values().collect(),
+        }
+    }
+
+    /// The telemetry of `device`, if present.
+    pub fn device(&self, device: DeviceId) -> Option<&DeviceTelemetry> {
+        self.devices.iter().find(|d| d.device == device)
+    }
+
+    /// The statistics of the directed link `src -> dst`, if any traffic
+    /// crossed it.
+    pub fn link(&self, src: DeviceId, dst: DeviceId) -> Option<&LinkTelemetry> {
+        self.links.iter().find(|l| l.src == src && l.dst == dst)
+    }
+
+    /// Checkpoint write time charged synchronously, summed over devices —
+    /// must equal the run report's `ckpt_overhead_ns`.
+    pub fn total_ckpt_sync_ns(&self) -> Nanos {
+        self.devices.iter().map(|d| d.classes.ckpt_sync_ns).sum()
+    }
+
+    /// Checkpoint write time the bubbles absorbed, summed over devices.
+    pub fn total_ckpt_absorbed_ns(&self) -> Nanos {
+        self.devices.iter().map(|d| d.classes.ckpt_absorbed_ns).sum()
+    }
+
+    /// Fraction of total device lifetime spent idle (send backpressure +
+    /// recv waits). In `(0, 1)` for any real pipeline: some bubble always
+    /// exists, and no device idles its entire life.
+    pub fn bubble_fraction(&self, device_clocks: &[Nanos]) -> f64 {
+        let lifetime: Nanos = device_clocks.iter().sum();
+        if lifetime == 0 {
+            return 0.0;
+        }
+        let bubble: Nanos = self.devices.iter().map(|d| d.classes.bubble_ns()).sum();
+        bubble as f64 / lifetime as f64
+    }
+
+    /// Verifies the conservation invariant on every device against its
+    /// final clock. Returns the first violation, if any.
+    pub fn check_conservation(&self, device_clocks: &[Nanos]) -> Result<(), String> {
+        for d in &self.devices {
+            let clock = device_clocks
+                .get(d.device.index())
+                .copied()
+                .ok_or_else(|| format!("{}: no clock recorded", d.device))?;
+            d.check_conservation(clock)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_sum_and_conserve() {
+        let mut c = TimeClasses::default();
+        c.compute_ns = 100;
+        c.comm_launch_ns = 10;
+        c.on_recv_gap(50, 20);
+        c.ckpt_sync_ns = 5;
+        assert_eq!(c.recv_blocked_ns, 30);
+        assert_eq!(c.ckpt_absorbed_ns, 20);
+        assert_eq!(c.total(), 165);
+        assert_eq!(c.bubble_ns(), 30);
+        let mut d = DeviceTelemetry::new(DeviceId(3));
+        d.classes = c;
+        assert!(d.check_conservation(165).is_ok());
+        assert!(d.check_conservation(166).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "recv gap")]
+    fn draining_more_than_the_gap_is_rejected() {
+        TimeClasses::default().on_recv_gap(10, 11);
+    }
+
+    #[test]
+    fn assemble_merges_send_and_recv_sides() {
+        let mut s = LinkSendStats::default();
+        s.on_send(100, 5, 1);
+        s.on_send(200, 0, 2);
+        let t = Telemetry::assemble(
+            vec![DeviceTelemetry::new(DeviceId(0)), DeviceTelemetry::new(DeviceId(1))],
+            vec![((DeviceId(0), DeviceId(1)), s)],
+            vec![((DeviceId(0), DeviceId(1)), 40)],
+        );
+        assert_eq!(t.links.len(), 1);
+        let l = t.link(DeviceId(0), DeviceId(1)).unwrap();
+        assert_eq!(l.packets, 2);
+        assert_eq!(l.bytes, 300);
+        assert_eq!(l.send_blocked_ns, 5);
+        assert_eq!(l.recv_wait_ns, 40);
+        assert_eq!(l.max_occupancy, 2);
+        assert!(t.link(DeviceId(1), DeviceId(0)).is_none());
+    }
+
+    #[test]
+    fn links_are_ordered_by_src_then_dst() {
+        let t = Telemetry::assemble(
+            vec![],
+            vec![
+                ((DeviceId(2), DeviceId(1)), LinkSendStats::default()),
+                ((DeviceId(0), DeviceId(1)), LinkSendStats::default()),
+                ((DeviceId(0), DeviceId(3)), LinkSendStats::default()),
+            ],
+            vec![],
+        );
+        let order: Vec<(u32, u32)> = t.links.iter().map(|l| (l.src.0, l.dst.0)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn bubble_fraction_is_bounded() {
+        let mut d = DeviceTelemetry::new(DeviceId(0));
+        d.classes.compute_ns = 60;
+        d.classes.recv_blocked_ns = 40;
+        let t = Telemetry {
+            devices: vec![d],
+            links: vec![],
+        };
+        let f = t.bubble_fraction(&[100]);
+        assert!((f - 0.4).abs() < 1e-12);
+        assert!(t.check_conservation(&[100]).is_ok());
+        assert!(t.check_conservation(&[99]).is_err());
+        assert_eq!(Telemetry::default().bubble_fraction(&[]), 0.0);
+    }
+}

@@ -477,6 +477,109 @@ proptest! {
     }
 }
 
+// Flight-recorder parity: the full telemetry breakdown — per-device time
+// classes, peak memory, fault counters, and per-link transfer stats — is
+// populated by the DP simulator and the zero-jitter emulator with
+// identical arithmetic. Every scheme, with no checkpointing, a flat
+// write, a sharded synchronous flush, and a sharded flush overlapped
+// into the bubbles, must agree bit-for-bit; on both sides the classes
+// must conserve (sum to the device clock) and the checkpoint classes
+// must tie out against the endpoint counters.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn telemetry_matches_between_sim_and_emu(
+        (scheme, d, n) in scheme_config(),
+        mode in 0u8..4,
+        k in 1u32..=3,
+        iters in 2u32..=4,
+    ) {
+        let s = generate(ScheduleConfig::new(scheme, d, n));
+        let cost = PerDeviceShards(UnitCost::paper_grid());
+        let cap = cap_of(scheme);
+        let sharded = ShardedWrite::new(2_000, 600);
+        let policy = match mode {
+            0 => None,
+            1 => Some(CheckpointPolicy::every(k).with_write_ns(700)),
+            2 => Some(CheckpointPolicy::every(k).with_sharded(sharded)),
+            _ => Some(
+                CheckpointPolicy::every(k).with_sharded(sharded.with_async_overlap()),
+            ),
+        };
+        let sim = simulate_timeline_ckpt(
+            &s,
+            &cost,
+            cap,
+            &PerturbationProfile::identity(),
+            iters,
+            policy,
+        )
+        .expect("simulation completes");
+        let emu = mario::cluster::run(
+            &s,
+            &cost,
+            EmulatorConfig {
+                channel_capacity: cap,
+                iterations: iters,
+                checkpoint: policy,
+                ..Default::default()
+            },
+        )
+        .expect("emulation completes");
+        prop_assert_eq!(&sim.telemetry, &emu.telemetry,
+            "telemetry diverged on {:?} D={} N={} mode {} k={} iters {}",
+            scheme, d, n, mode, k, iters);
+        prop_assert!(sim.telemetry.check_conservation(&sim.device_clocks).is_ok(),
+            "{:?}", sim.telemetry.check_conservation(&sim.device_clocks));
+        prop_assert!(emu.telemetry.check_conservation(&emu.device_clocks).is_ok(),
+            "{:?}", emu.telemetry.check_conservation(&emu.device_clocks));
+        // The ckpt-sync class is the paid-write counter, never
+        // double-counted against the absorbed class.
+        prop_assert_eq!(emu.telemetry.total_ckpt_sync_ns(), emu.ckpt_overhead_ns);
+        prop_assert_eq!(sim.telemetry.total_ckpt_sync_ns(), sim.ckpt_overhead_ns);
+        let bf = emu.telemetry.bubble_fraction(&emu.device_clocks);
+        prop_assert!((0.0..=1.0).contains(&bf), "bubble fraction {bf}");
+    }
+}
+
+// Conservation is not a fair-weather invariant: a run that absorbs a
+// fault (a straggler slowdown or a finite link delay) still accounts for
+// every nanosecond — the inflation lands in a class instead of leaking
+// out of the breakdown — and the absorbing device reports the fault.
+#[test]
+fn telemetry_conservation_survives_absorbed_faults() {
+    use mario::cluster::FaultPlan;
+
+    let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+    let cost = UnitCost::paper_grid().with_ckpt_bytes(1);
+    for seed in 0..8u64 {
+        let plan = FaultPlan::single_absorbable(seed, &s);
+        assert!(plan.is_absorbable());
+        let report = mario::cluster::run_with_faults(
+            &s,
+            &cost,
+            EmulatorConfig {
+                iterations: 2,
+                ..Default::default()
+            },
+            &plan,
+        )
+        .expect("absorbable plan completes");
+        report
+            .telemetry
+            .check_conservation(&report.device_clocks)
+            .expect("conservation on a faulted run");
+        let absorbed: u32 = report
+            .telemetry
+            .devices
+            .iter()
+            .map(|t| t.absorbed_faults)
+            .sum();
+        assert!(absorbed >= 1, "seed {seed}: no absorbed fault recorded");
+    }
+}
+
 // Chunk-level durability under async overlap: a crash landing while a
 // sharded checkpoint is still draining resumes from the last *fully
 // flushed* checkpoint — always a whole interval boundary, never a
