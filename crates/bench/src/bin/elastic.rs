@@ -1,0 +1,61 @@
+//! Elastic-recovery sweep: a 4-device pipeline loses a device at a swept
+//! iteration; shrink-and-continue answers wait-and-resume across all
+//! five schemes. Exits non-zero if any scenario violates the elastic
+//! invariant (sim-exact tails, attributable redistribution, conserved
+//! clocks) or any scheme fails to cross both policy regimes. Pass
+//! `--smoke` for a two-point CI sweep and `--json` for a
+//! machine-readable `results/elastic.json`.
+fn main() {
+    use mario_bench::experiments::elastic;
+    use mario_bench::{summary, JsonObj, RunSummary};
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sweep = if smoke {
+        elastic::smoke_sweep()
+    } else {
+        elastic::full_sweep()
+    };
+    let rows = elastic::run(&sweep);
+    println!("{}", elastic::render(&rows));
+    let schemes_crossed = elastic::schemes()
+        .iter()
+        .filter(|s| {
+            let label = s.shape_letter();
+            let mine: Vec<_> = rows.iter().filter(|r| r.scheme == label).cloned().collect();
+            elastic::both_regimes(&mine)
+        })
+        .count();
+    if summary::json_requested() {
+        let ok = rows.iter().filter(|r| r.ok).count();
+        let mut s = RunSummary::new("elastic")
+            .metric("scenarios_total", rows.len() as f64)
+            .metric("scenarios_ok", ok as f64)
+            .metric("schemes_crossed", schemes_crossed as f64);
+        for r in &rows {
+            let mut row = JsonObj::new()
+                .str("scheme", &r.scheme)
+                .int("fault_iter", r.fault_iter)
+                .int("remaining", r.remaining)
+                .int("wait_ns", r.wait_ns)
+                .int("shrink_ns", r.shrink_ns)
+                .int("replacement_wait_ns", r.replacement_wait_ns)
+                .str("winner", &r.winner)
+                .str("predicted", &r.predicted)
+                .int("reconfig_ns", r.reconfig_ns)
+                .int("telemetry_reconfig_ns", r.telemetry_reconfig_ns)
+                .int("moved_bytes", r.moved_bytes)
+                .int("shrunk_devices", r.shrunk_devices)
+                .bool("ok", r.ok);
+            if let Some(c) = r.crossover_remaining {
+                row = row.int("crossover_remaining", c);
+            }
+            if !r.detail.is_empty() {
+                row = row.str("detail", &r.detail);
+            }
+            s.push_row(row);
+        }
+        summary::emit(&s);
+    }
+    if rows.iter().any(|r| !r.ok) || schemes_crossed < elastic::schemes().len() {
+        std::process::exit(1);
+    }
+}

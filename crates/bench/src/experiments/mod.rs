@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod ckptshard;
 pub mod degraded;
+pub mod elastic;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

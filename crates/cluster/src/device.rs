@@ -229,6 +229,10 @@ pub struct DeviceCtx<'a> {
     pub checkpoint: Option<CheckpointPolicy>,
     /// Shared checkpoint scoreboard.
     pub ckpts: &'a CkptBoard,
+    /// One-time startup charge (ns) before the first instruction: the
+    /// state-redistribution cost of an elastic reconfiguration. The clock
+    /// starts here and the charge lands in the `reconfig_ns` time class.
+    pub startup_ns: Nanos,
 }
 
 /// The per-device runtime state.
@@ -288,12 +292,14 @@ impl<'a> DeviceRuntime<'a> {
             Some(squeezed) => Some(ctx.mem_capacity.unwrap_or(u64::MAX).min(squeezed)),
             None => ctx.mem_capacity,
         };
+        let mut telemetry = DeviceTelemetry::new(device);
+        telemetry.classes.reconfig_ns = ctx.startup_ns;
         Self {
             device,
             cost: ctx.cost,
             rules: ctx.rules,
             ledger: MemLedger::new(ctx.cost.static_mem(device), capacity),
-            clock: 0,
+            clock: ctx.startup_ns,
             out,
             inp,
             rng: StdRng::seed_from_u64(
@@ -313,7 +319,7 @@ impl<'a> DeviceRuntime<'a> {
             last_checkpoint: 0,
             pending_chunks: VecDeque::new(),
             pending_ckpt_iters: 0,
-            telemetry: DeviceTelemetry::new(device),
+            telemetry,
             link_sends: HashMap::new(),
             link_recv_wait: HashMap::new(),
         }

@@ -146,6 +146,13 @@ pub struct FaultPlan {
     /// member fault is also listed in `faults`).
     #[serde(default)]
     pub groups: Vec<FaultGroup>,
+    /// A cascading follow-up: once this plan's hard fault fires and the
+    /// run restarts (or reconfigures), the armed plan becomes the active
+    /// one for the next attempt — a failure whose trigger arms a second
+    /// failure. Plans are plain data, so a seeded cascade replays
+    /// bit-identically.
+    #[serde(default)]
+    pub armed: Option<Box<FaultPlan>>,
 }
 
 impl FaultPlan {
@@ -217,6 +224,23 @@ impl FaultPlan {
         self
     }
 
+    /// Arms `next` as the cascading follow-up plan: it activates on the
+    /// attempt after this plan's hard fault fires.
+    pub fn arming(mut self, next: FaultPlan) -> Self {
+        self.armed = Some(Box::new(next));
+        self
+    }
+
+    /// Consumes the plan after its fault fired, yielding what the next
+    /// attempt must enforce: the armed follow-up if one exists, else the
+    /// empty plan.
+    pub fn take_armed(&mut self) -> FaultPlan {
+        match self.armed.take() {
+            Some(next) => *next,
+            None => FaultPlan::none(),
+        }
+    }
+
     /// A correlated multi-fault plan modeling a whole rack losing power:
     /// one device of the seeded rack crashes, and every inter-rack link
     /// touching the rack stalls (its first packet of the fault iteration
@@ -258,6 +282,63 @@ impl FaultPlan {
             }],
             faults,
             iteration: 0,
+            armed: None,
+        }
+    }
+
+    /// A correlated multi-fault plan modeling a top-of-node switch dying:
+    /// every directed link crossing the seeded node's boundary stalls
+    /// (its first packet of the fault iteration is lost). Nodes partition
+    /// devices into groups of `node_size`; only nodes with crossing
+    /// traffic are candidates, so the plan always surfaces. No device
+    /// crashes — the switch takes the links, not the hosts — and the
+    /// settle-barrier teardown stays deterministic: every induced stall
+    /// is attributed to the one `switch-<n>` group. Returns the empty
+    /// plan when no link crosses any node boundary (a single-node
+    /// cluster). Deterministic in `seed`.
+    pub fn switch_failure(seed: u64, schedule: &Schedule, node_size: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let node_size = node_size.max(1);
+        let node_of = |d: DeviceId| d.0 / node_size;
+
+        // Candidate nodes: those with at least one link crossing their
+        // boundary in this schedule.
+        let sites = send_sites(schedule);
+        let mut candidates: Vec<u32> = sites
+            .iter()
+            .flat_map(|&(src, dst, _)| [node_of(src), node_of(dst)])
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|&n| {
+            sites
+                .iter()
+                .any(|&(src, dst, _)| (node_of(src) == n) != (node_of(dst) == n))
+        });
+        if candidates.is_empty() {
+            return Self::none();
+        }
+        let node = candidates[rng.gen_range(0..candidates.len())];
+
+        let mut stalled: Vec<(DeviceId, DeviceId)> = Vec::new();
+        let mut faults = Vec::new();
+        for (src, dst, nth) in sites {
+            if nth == 0
+                && (node_of(src) == node) != (node_of(dst) == node)
+                && !stalled.contains(&(src, dst))
+            {
+                stalled.push((src, dst));
+                faults.push(FaultKind::LinkStall { src, dst, nth: 0 });
+            }
+        }
+        Self {
+            groups: vec![FaultGroup {
+                name: format!("switch-{node}"),
+                members: faults.clone(),
+            }],
+            faults,
+            iteration: 0,
+            armed: None,
         }
     }
 
@@ -767,6 +848,53 @@ mod tests {
         // Ungrouped plans attribute to nothing.
         let lone = FaultPlan::single_random(0, &s);
         assert_eq!(lone.group_of(&lone.faults[0]), None);
+    }
+
+    #[test]
+    fn switch_failure_stalls_every_boundary_crossing_link() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        for seed in 0..32 {
+            let plan = FaultPlan::switch_failure(seed, &s, 2);
+            assert_eq!(plan, FaultPlan::switch_failure(seed, &s, 2), "seed {seed}");
+            // Links only, no host crash; a 4-deep pipeline on 2-device
+            // nodes always has boundary-crossing traffic.
+            assert!(!plan.faults.is_empty(), "seed {seed}");
+            assert_eq!(plan.groups.len(), 1);
+            let name = &plan.groups[0].name;
+            assert!(name.starts_with("switch-"), "{name}");
+            let node: u32 = name["switch-".len()..].parse().unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for f in &plan.faults {
+                assert_eq!(plan.group_of(f).as_ref(), Some(name));
+                match *f {
+                    FaultKind::LinkStall { src, dst, nth } => {
+                        assert_eq!(nth, 0);
+                        assert!((src.0 / 2 == node) != (dst.0 / 2 == node));
+                        assert!(seen.insert((src, dst)), "duplicate stall {src}->{dst}");
+                    }
+                    ref other => panic!("unexpected fault {other:?}"),
+                }
+            }
+        }
+        // A comm-free schedule has no switch to lose.
+        let lone = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 2, 2).comm(false));
+        assert_eq!(FaultPlan::switch_failure(0, &lone, 2), FaultPlan::none());
+    }
+
+    #[test]
+    fn armed_plans_cascade_and_replay_from_the_seed() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
+        let build = |seed: u64| {
+            FaultPlan::single_crash_or_stall(seed, &s)
+                .arming(FaultPlan::rack_failure(seed + 1, &s).at_iteration(1))
+        };
+        let mut a = build(7);
+        assert_eq!(a, build(7));
+        let second = a.take_armed();
+        assert_eq!(second, FaultPlan::rack_failure(8, &s).at_iteration(1));
+        assert!(second.armed.is_none());
+        // A second consumption finds nothing left.
+        assert_eq!(a.take_armed(), FaultPlan::none());
     }
 
     #[test]

@@ -160,6 +160,23 @@ pub fn run_with_faults(
     cfg: EmulatorConfig,
     plan: &FaultPlan,
 ) -> Result<RunReport, EmuError> {
+    run_with_faults_startup(schedule, cost, cfg, plan, &[])
+}
+
+/// [`run_with_faults`] with a per-device startup offset: device `d`'s
+/// clock begins at `startup[d]` ns (0 when the slice is short), charged
+/// to the `reconfig_ns` telemetry class — the state-redistribution cost
+/// an elastic reconfiguration pays before the shrunk pipeline's first
+/// instruction. The offsets propagate through blocking p2p exactly as in
+/// the DP simulator's `simulate_timeline_startup`, so zero-jitter parity
+/// holds on reconfigured runs too.
+pub fn run_with_faults_startup(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    startup: &[Nanos],
+) -> Result<RunReport, EmuError> {
     let devices = schedule.devices() as usize;
     let rules = mario_ir::MemoryRules::new(schedule);
     let watchdog = effective_watchdog(schedule, &cfg);
@@ -230,6 +247,7 @@ pub fn run_with_faults(
                             stalls,
                             checkpoint: cfg.checkpoint,
                             ckpts,
+                            startup_ns: startup.get(d).copied().unwrap_or(0),
                         },
                         out,
                         inp,
@@ -472,9 +490,208 @@ pub fn run_with_recovery(
                 // whether or not the checkpoint is resumable.
                 failed_overhead += report.ckpt_paid_ns;
                 fault_log.push(*report);
-                // The faulted component is replaced/healed: the remaining
-                // attempts run fault-free.
-                active = FaultPlan::none();
+                // The faulted component is replaced/healed — but a
+                // cascading plan may have armed a follow-up that fires
+                // on the next attempt; otherwise the rest runs
+                // fault-free.
+                active = active.take_armed();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// How a recovery session answers a permanent device loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Wait for a replacement device, then resume from the last durable
+    /// checkpoint on the original topology at full speed.
+    WaitAndResume,
+    /// Re-partition the model onto the surviving devices, pay the state
+    /// redistribution once, and continue degraded on a shorter (slower)
+    /// pipeline.
+    ShrinkAndContinue,
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryPolicy::WaitAndResume => write!(f, "wait-and-resume"),
+            RecoveryPolicy::ShrinkAndContinue => write!(f, "shrink-and-continue"),
+        }
+    }
+}
+
+/// Everything the elastic loop needs to tear the faulted pipeline down
+/// and rebuild it on the survivors: the shrunk schedule, the cost model
+/// matching its device numbering, the channel depth it needs, and the
+/// per-device state-redistribution charge. Produced by a planner (see
+/// `mario-core`'s `plan_shrink`) in response to a [`FaultReport`].
+pub struct Reconfiguration {
+    /// The schedule for the shrunk pipeline (devices renumbered 0..p−k).
+    pub schedule: Schedule,
+    /// Cost model for the shrunk pipeline's device numbering.
+    pub cost: Box<dyn CostModel>,
+    /// Channel depth the shrunk schedule needs.
+    pub channel_capacity: usize,
+    /// Per-device startup charge, ns: the time each survivor spends
+    /// fetching the layer state it did not already hold.
+    pub startup_ns: Vec<Nanos>,
+    /// Total bytes of model state moved between devices.
+    pub moved_bytes: u64,
+    /// The surviving devices, in their *original* numbering; survivor
+    /// `i` becomes the shrunk schedule's device `i`.
+    pub survivors: Vec<DeviceId>,
+}
+
+/// One teardown/rebuild the elastic loop performed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReconfigureEvent {
+    /// Iteration (within the failed attempt) at which the fault fired.
+    pub at_iteration: u32,
+    /// The surviving devices, in original numbering.
+    pub survivors: Vec<DeviceId>,
+    /// Total bytes of model state redistributed.
+    pub moved_bytes: u64,
+    /// Wall-clock redistribution charge, ns (the slowest survivor's
+    /// startup — the pipeline cannot start before every shard arrived).
+    pub reconfig_ns: Nanos,
+    /// Pipeline depth after the rebuild.
+    pub devices_after: u32,
+}
+
+/// A run that survived a permanent device loss by shrinking (or, when
+/// the planner declined, by plain checkpoint-restart).
+#[derive(Debug)]
+pub struct ElasticRun {
+    /// The final, successful run — on the shrunk topology if a
+    /// reconfiguration happened.
+    pub report: RunReport,
+    /// Total attempts, including the successful one.
+    pub attempts: u32,
+    /// Structured reports of every fault that killed an attempt.
+    pub fault_log: Vec<FaultReport>,
+    /// Every teardown/rebuild performed, in order.
+    pub reconfigurations: Vec<ReconfigureEvent>,
+    /// Virtual time of the whole session, ns: the final run (whose clock
+    /// already includes any redistribution charge) plus the time each
+    /// failed attempt burned before its fault surfaced.
+    pub total_ns_with_replay: Nanos,
+    /// Iterations already covered by the checkpoint the final attempt
+    /// resumed from.
+    pub resumed_from: u32,
+    /// Iterations completed in failed attempts but not checkpointed —
+    /// executed again after the restart.
+    pub replayed_iters: u32,
+    /// Checkpoint write time across all attempts, summed over devices,
+    /// ns.
+    pub ckpt_overhead_ns: Nanos,
+    /// Total wall-clock redistribution charge across reconfigurations,
+    /// ns — also visible per device in the final report's telemetry
+    /// `reconfig_ns` class when the last attempt followed a rebuild.
+    pub reconfig_ns: Nanos,
+}
+
+/// [`run_with_recovery`] with an elastic twist: after each fault that
+/// kills an attempt, `reconfigure` may hand back a [`Reconfiguration`] —
+/// the links and devices of the old pipeline are torn down and the next
+/// attempt runs the shrunk schedule, its devices starting at their
+/// redistribution offsets and resuming from the last cluster-durable
+/// checkpoint. When `reconfigure` returns `None` the loop behaves like
+/// plain checkpoint-restart on the current topology (the
+/// wait-and-resume policy, with any replacement wait charged by the
+/// caller). Cascading plans ([`FaultPlan::arming`]) are consumed exactly
+/// as in [`run_with_recovery`].
+pub fn run_with_elastic_recovery(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    max_restarts: u32,
+    mut reconfigure: impl FnMut(&FaultReport) -> Option<Reconfiguration>,
+) -> Result<ElasticRun, EmuError> {
+    let mut fault_log: Vec<FaultReport> = Vec::new();
+    let mut reconfigurations: Vec<ReconfigureEvent> = Vec::new();
+    let mut attempts = 0;
+    let mut active = plan.clone();
+    let mut completed: u32 = 0;
+    let mut replayed: u32 = 0;
+    let mut failed_overhead: Nanos = 0;
+    let mut reconfig_total: Nanos = 0;
+    // The topology the next attempt runs on: the original borrow until a
+    // reconfiguration swaps in an owned shrunk schedule + cost model.
+    let mut cur_schedule: Schedule = schedule.clone();
+    let mut cur_cost: Option<Box<dyn CostModel>> = None;
+    let mut cur_cfg = cfg;
+    // Redistribution offsets, charged to the single attempt that follows
+    // a rebuild and cleared afterwards.
+    let mut startup: Vec<Nanos> = Vec::new();
+    loop {
+        attempts += 1;
+        let attempt_cfg = EmulatorConfig {
+            iterations: cfg.iterations - completed,
+            ..cur_cfg
+        };
+        let attempt_cost: &dyn CostModel = cur_cost.as_deref().unwrap_or(cost);
+        match run_with_faults_startup(&cur_schedule, attempt_cost, attempt_cfg, &active, &startup) {
+            Ok(mut report) => {
+                let wasted: Nanos = fault_log.iter().map(|r| r.vtime).sum();
+                // Hard faults binned by site, as in `run_with_recovery`;
+                // a site that no longer exists on the shrunk topology is
+                // skipped (the lemon left the fleet with its counter).
+                for r in &fault_log {
+                    let site = r.fault.site();
+                    if let Some(d) = report
+                        .telemetry
+                        .devices
+                        .iter_mut()
+                        .find(|d| d.device == site)
+                    {
+                        d.hard_faults += 1;
+                    }
+                }
+                return Ok(ElasticRun {
+                    total_ns_with_replay: report.total_ns + wasted,
+                    ckpt_overhead_ns: failed_overhead + report.ckpt_overhead_ns,
+                    report,
+                    attempts,
+                    fault_log,
+                    reconfigurations,
+                    resumed_from: completed,
+                    replayed_iters: replayed,
+                    reconfig_ns: reconfig_total,
+                });
+            }
+            Err(EmuError::Fault(report)) if attempts <= max_restarts => {
+                let saved = report.last_checkpoint;
+                replayed += report.iteration.saturating_sub(saved);
+                completed += saved;
+                failed_overhead += report.ckpt_paid_ns;
+                active = active.take_armed();
+                match reconfigure(&report) {
+                    Some(r) => {
+                        let reconfig_ns = r.startup_ns.iter().copied().max().unwrap_or(0);
+                        reconfig_total += reconfig_ns;
+                        reconfigurations.push(ReconfigureEvent {
+                            at_iteration: report.iteration,
+                            survivors: r.survivors.clone(),
+                            moved_bytes: r.moved_bytes,
+                            reconfig_ns,
+                            devices_after: r.schedule.devices(),
+                        });
+                        cur_schedule = r.schedule;
+                        cur_cost = Some(r.cost);
+                        cur_cfg = EmulatorConfig {
+                            channel_capacity: r.channel_capacity,
+                            ..cur_cfg
+                        };
+                        startup = r.startup_ns;
+                    }
+                    // Plain restart on the current topology: state is
+                    // already in place, nothing to redistribute.
+                    None => startup = Vec::new(),
+                }
+                fault_log.push(*report);
             }
             Err(e) => return Err(e),
         }
@@ -997,6 +1214,129 @@ mod tests {
         // The slowdown fired in iteration 2, after the device's
         // end-of-iteration-1 boundary: 2 iterations were checkpointed.
         assert_eq!(r.faults[0].last_checkpoint, 2);
+    }
+
+    #[test]
+    fn startup_offsets_shift_clocks_and_land_in_telemetry() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let base = run(&s, &unit(), EmulatorConfig::default()).unwrap();
+        let startup = vec![5_000u64, 0, 0, 0];
+        let r = run_with_faults_startup(
+            &s,
+            &unit(),
+            EmulatorConfig::default(),
+            &FaultPlan::none(),
+            &startup,
+        )
+        .unwrap();
+        // Device 0 heads the pipeline: its 5 µs offset delays everyone.
+        assert_eq!(r.total_ns, base.total_ns + 5_000);
+        assert_eq!(r.telemetry.devices[0].classes.reconfig_ns, 5_000);
+        assert_eq!(r.telemetry.devices[1].classes.reconfig_ns, 0);
+        // The offset is a charged class, so conservation still holds.
+        assert!(r.telemetry.check_conservation(&r.device_clocks).is_ok());
+        // An empty slice is bit-identical to the plain entry point.
+        let none =
+            run_with_faults_startup(&s, &unit(), EmulatorConfig::default(), &FaultPlan::none(), &[])
+                .unwrap();
+        assert_eq!(none.device_clocks, base.device_clocks);
+    }
+
+    #[test]
+    fn elastic_recovery_continues_on_the_shrunk_pipeline() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let plan = FaultPlan::none()
+            .with(FaultKind::Crash {
+                device: DeviceId(3),
+                pc: 5,
+            })
+            .at_iteration(3);
+        let cfg = EmulatorConfig {
+            iterations: 6,
+            checkpoint: Some(mario_ir::CheckpointPolicy::every(2).with_write_ns(500)),
+            ..fast(EmulatorConfig::default())
+        };
+        let shrunk = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 3, 8));
+        let startup = vec![1_000u64, 2_000, 3_000];
+        let rec = run_with_elastic_recovery(&s, &unit(), cfg, &plan, 3, |report| {
+            assert_eq!(report.fault, plan.faults[0]);
+            Some(Reconfiguration {
+                schedule: shrunk.clone(),
+                cost: Box::new(unit()),
+                channel_capacity: 1,
+                startup_ns: startup.clone(),
+                moved_bytes: 1234,
+                survivors: vec![DeviceId(0), DeviceId(1), DeviceId(2)],
+            })
+        })
+        .expect("elastic recovery completes");
+        assert_eq!(rec.attempts, 2);
+        assert_eq!(rec.resumed_from, 2);
+        assert_eq!(rec.reconfigurations.len(), 1);
+        let ev = &rec.reconfigurations[0];
+        assert_eq!(ev.devices_after, 3);
+        assert_eq!(ev.at_iteration, 3);
+        assert_eq!(ev.moved_bytes, 1234);
+        // Wall-clock charge = the slowest survivor's fetch.
+        assert_eq!(ev.reconfig_ns, 3_000);
+        assert_eq!(rec.reconfig_ns, 3_000);
+        // The final run is the 3-deep pipeline with the redistribution
+        // cost visible per device in its telemetry.
+        assert_eq!(rec.report.device_clocks.len(), 3);
+        for (d, &ns) in startup.iter().enumerate() {
+            assert_eq!(rec.report.telemetry.devices[d].classes.reconfig_ns, ns);
+        }
+        // The final attempt equals a fresh startup-offset run of the
+        // remaining 4 iterations on the shrunk schedule.
+        let fresh = run_with_faults_startup(
+            &shrunk,
+            &unit(),
+            EmulatorConfig {
+                iterations: 4,
+                ..cfg
+            },
+            &FaultPlan::none(),
+            &startup,
+        )
+        .unwrap();
+        assert_eq!(rec.report.device_clocks, fresh.device_clocks);
+        // Declining every reconfiguration degrades to plain
+        // checkpoint-restart, bit for bit.
+        let plain = run_with_elastic_recovery(&s, &unit(), cfg, &plan, 3, |_| None).unwrap();
+        let classic = run_with_recovery(&s, &unit(), cfg, &plan, 3).unwrap();
+        assert_eq!(plain.report.device_clocks, classic.report.device_clocks);
+        assert_eq!(plain.total_ns_with_replay, classic.total_ns_with_replay);
+        assert!(plain.reconfigurations.is_empty());
+        assert_eq!(plain.reconfig_ns, 0);
+    }
+
+    #[test]
+    fn cascading_plans_replay_bit_identically_with_attribution() {
+        let s = generate(ScheduleConfig::new(mario_ir::SchemeKind::OneFOneB, 4, 8));
+        let build = |seed: u64| {
+            FaultPlan::single_crash_or_stall(seed, &s)
+                .arming(FaultPlan::rack_failure(seed + 1, &s))
+        };
+        let plan = build(11);
+        let rec = run_with_recovery(&s, &unit(), fast(EmulatorConfig::default()), &plan, 3)
+            .expect("survives the cascade");
+        // Two failed attempts — the seeded trigger, then the armed rack
+        // failure — and a clean third.
+        assert_eq!(rec.attempts, 3);
+        assert_eq!(rec.fault_log.len(), 2);
+        assert_eq!(rec.fault_log[0].fault, plan.faults[0]);
+        assert_eq!(rec.fault_log[0].group, None);
+        let armed = plan.armed.as_deref().unwrap();
+        assert!(armed.faults.contains(&rec.fault_log[1].fault));
+        assert_eq!(
+            rec.fault_log[1].group.as_deref(),
+            Some(armed.groups[0].name.as_str())
+        );
+        // Bit-identical replay from the seed.
+        let again =
+            run_with_recovery(&s, &unit(), fast(EmulatorConfig::default()), &build(11), 3).unwrap();
+        assert_eq!(rec.fault_log, again.fault_log);
+        assert_eq!(rec.report.device_clocks, again.report.device_clocks);
     }
 
     #[test]

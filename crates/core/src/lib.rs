@@ -13,11 +13,15 @@
 //!   `(a, b, pp, dp, mbs)` maximizing simulated throughput under the
 //!   device-memory constraint (Equation 1);
 //! * [`viz`] — timeline visualization (Fig. 5): ASCII and SVG Gantt charts;
-//! * [`api`] — the Listing-1 user interface: `optimize` + `run`.
+//! * [`api`] — the Listing-1 user interface: `optimize` + `run`;
+//! * [`elastic`] — elastic recovery planning: shrink the pipeline onto the
+//!   fault's survivors, price the state redistribution, and compare
+//!   shrink-and-continue against wait-and-resume.
 
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod elastic;
 pub mod passes;
 pub mod simulator;
 pub mod trace;
@@ -25,23 +29,26 @@ pub mod tuner;
 pub mod viz;
 
 pub use api::{optimize, run, MarioConfig, Optimized};
+pub use elastic::{
+    compare_policies, plan_shrink, ElasticPlan, ElasticSetup, LayerScaledCost, PolicyComparison,
+};
 pub use passes::{
     apply_checkpoint, overlap_recompute, prepose_forward, remove_redundancy, run_graph_tuner,
     split_backward, GraphTunerOptions, PassStats, PreposeOptions, SplitOptions,
 };
 pub use simulator::{
     memory_series, simulate, simulate_memory, simulate_timeline, simulate_timeline_ckpt,
-    simulate_timeline_iters, simulate_timeline_with, MemReport, MemSeries, SimError, SimEvent,
-    SimOptions, SimReport, SimTimeline,
+    simulate_timeline_iters, simulate_timeline_startup, simulate_timeline_with, MemReport,
+    MemSeries, SimError, SimEvent, SimOptions, SimReport, SimTimeline,
 };
 pub use trace::{
     emu_to_chrome_trace, emu_to_chrome_trace_rich, rich_chrome_trace, sim_to_chrome_trace,
     sim_to_chrome_trace_rich, to_chrome_trace, TraceEvent, COUNTER_PID,
 };
 pub use tuner::{
-    admissible, daly_interval, effective_write_ns, evaluate, fit_fault_rate, tune,
-    tune_checkpoint_interval, Candidate, CandidateFailure, CheckpointTuning, Evaluation,
-    FaultHistory, SchemeChoice, SearchStats, TuneError, TuneResult, TunerConfig,
-    MAX_DEGRADED_EVALS, MAX_VALIDATION_RUNS,
+    admissible, daly_interval, effective_write_ns, evaluate, fit_fault_rate, fit_fault_rate_on,
+    tune, tune_checkpoint_interval, Candidate, CandidateFailure, CheckpointTuning, Evaluation,
+    FaultHistory, RecoveryReport, RecoveryTuning, SchemeChoice, SearchStats, TuneError,
+    TuneResult, TunerConfig, MAX_DEGRADED_EVALS, MAX_VALIDATION_RUNS,
 };
 pub use viz::{render_ascii, render_svg, VizOptions};

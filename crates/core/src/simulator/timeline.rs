@@ -327,13 +327,43 @@ pub fn simulate_timeline_ckpt(
     iterations: u32,
     checkpoint: Option<CheckpointPolicy>,
 ) -> Result<SimTimeline, SimError> {
+    simulate_timeline_startup(
+        schedule,
+        cost,
+        channel_capacity,
+        profile,
+        iterations,
+        checkpoint,
+        &[],
+    )
+}
+
+/// [`simulate_timeline_ckpt`] with per-device *startup offsets*: device
+/// `d`'s clock begins at `startup[d]` (0 when the slice is short), and the
+/// offset is recorded in the `reconfig_ns` telemetry class so Σ classes ==
+/// device clock still holds. This models the one-time state-redistribution
+/// cost of an elastic reconfiguration — survivors start executing only
+/// once the layer state they did not already hold has been fetched —
+/// mirroring the emulator's `run_with_faults_startup` bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_timeline_startup(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    channel_capacity: usize,
+    profile: &PerturbationProfile,
+    iterations: u32,
+    checkpoint: Option<CheckpointPolicy>,
+    startup: &[Nanos],
+) -> Result<SimTimeline, SimError> {
     assert!(channel_capacity >= 1);
     assert!(iterations >= 1);
     let devices = schedule.devices() as usize;
     // Global instruction cursor per device: local pc = gpc % len,
     // iteration = gpc / len.
     let mut gpc = vec![0usize; devices];
-    let mut clocks = vec![0u64; devices];
+    let mut clocks: Vec<Nanos> = (0..devices)
+        .map(|d| startup.get(d).copied().unwrap_or(0))
+        .collect();
     let mut chans: HashMap<(u32, u32, MsgClass, u32), Channel> = HashMap::new();
     // Packets sent per (src, dst) pair *this iteration*, all classes and
     // parts in program order — the emulator's link-fault packet
@@ -347,7 +377,11 @@ pub fn simulate_timeline_ckpt(
     // device replaying the emulator's exact `apply` sequence (compute and
     // send sites only), and per-link transfer statistics.
     let mut tel: Vec<DeviceTelemetry> = (0..devices)
-        .map(|d| DeviceTelemetry::new(DeviceId(d as u32)))
+        .map(|d| {
+            let mut t = DeviceTelemetry::new(DeviceId(d as u32));
+            t.classes.reconfig_ns = startup.get(d).copied().unwrap_or(0);
+            t
+        })
         .collect();
     let rules = MemoryRules::new(schedule);
     let mut ledgers: Vec<MemLedger> = (0..devices)

@@ -5,9 +5,10 @@
 //! point costs one schedule generation + graph tuning + simulation, a few
 //! milliseconds, against minutes per configuration on a real cluster.
 
+use crate::elastic::{compare_policies, plan_shrink, ElasticSetup};
 use crate::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
 use crate::simulator::{simulate_memory, simulate_timeline, simulate_timeline_with, SimError};
-use mario_cluster::{FaultPlan, FaultReport};
+use mario_cluster::{FaultPlan, FaultReport, RecoveryPolicy};
 use mario_ir::{
     min_channel_capacity, CheckpointPolicy, DeviceId, PerturbationProfile, Schedule, SchemeKind,
     Topology,
@@ -86,6 +87,12 @@ pub struct TunerConfig {
     /// fault, no policy is emitted (checkpointing a fault-free run only
     /// costs write time).
     pub checkpoint: Option<CheckpointTuning>,
+    /// Anticipated hard-fault scenario for elastic-recovery planning.
+    /// When set, [`tune`] prices both recovery policies for the winning
+    /// candidate — wait for a replacement and resume at full width, or
+    /// shrink onto the survivors and continue degraded — and reports the
+    /// cheaper one with its crossover horizon on [`TuneResult::recovery`].
+    pub recovery: Option<RecoveryTuning>,
 }
 
 impl TunerConfig {
@@ -105,8 +112,48 @@ impl TunerConfig {
             validate_on_emulator: false,
             perturbation: None,
             checkpoint: None,
+            recovery: None,
         }
     }
+}
+
+/// Inputs for elastic-recovery policy tuning: the fault scenario to plan
+/// for and the cluster constants that price waiting vs. shrinking.
+#[derive(Debug, Clone)]
+pub struct RecoveryTuning {
+    /// Devices assumed lost to the hard fault (ids in the winning
+    /// candidate's pipeline, `0..pp`).
+    pub lost_devices: Vec<DeviceId>,
+    /// Iterations left to run when the fault strikes.
+    pub remaining_iters: u32,
+    /// Expected wait for a replacement device, ns (the wait-and-resume
+    /// policy pays this once before resuming at full width).
+    pub replacement_wait_ns: u64,
+    /// Model-state bytes per layer, pricing the shrink's redistribution.
+    pub state_bytes_per_layer: u64,
+    /// Link bandwidth for fetching redistributed state, bytes/µs.
+    pub fetch_bytes_per_us: u64,
+}
+
+/// The tuner's elastic-recovery verdict for the winning candidate (see
+/// [`crate::elastic::compare_policies`] for the pricing model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The cheaper policy for the configured scenario.
+    pub policy: RecoveryPolicy,
+    /// Tail time under wait-and-resume.
+    pub wait_total_ns: u64,
+    /// Tail time under shrink-and-continue.
+    pub shrink_total_ns: u64,
+    /// Remaining-iteration horizon where the policies tie (`None` when
+    /// one dominates everywhere).
+    pub crossover_remaining: Option<u64>,
+    /// Simulated iteration time of the shrunk pipeline.
+    pub shrunk_iter_ns: u64,
+    /// One-time state-redistribution cost of the shrink.
+    pub reconfig_ns: u64,
+    /// Width of the shrunk pipeline.
+    pub shrunk_devices: u32,
 }
 
 /// Inputs for checkpoint-interval tuning: the anticipated fault
@@ -130,6 +177,13 @@ pub struct CheckpointTuning {
     /// says what *could* fail, the history says how often it actually
     /// does.
     pub history: Option<FaultHistory>,
+    /// Devices the tuned run will actually occupy. When set, the fitted
+    /// rate is scoped to hard faults attributed to *these* devices
+    /// ([`FaultHistory::fitted_rate_on`]): a history dominated by a lemon
+    /// device the new placement avoids then yields a lower λ and a longer
+    /// interval, while placing onto the lemon shortens it. `None` keeps
+    /// the cluster-wide rate.
+    pub devices: Option<Vec<DeviceId>>,
 }
 
 /// Fault observations accumulated across completed (or recovered) runs,
@@ -154,6 +208,14 @@ impl FaultHistory {
     /// [`fit_fault_rate`]).
     pub fn fitted_rate(&self) -> Option<f64> {
         fit_fault_rate(&self.reports, self.iterations)
+    }
+
+    /// The fitted hard-fault rate counting only events attributed to
+    /// `devices` (see [`fit_fault_rate_on`]): the per-placement rate a
+    /// tuner should use when the new run occupies a subset of the devices
+    /// the history was observed on.
+    pub fn fitted_rate_on(&self, devices: &[DeviceId]) -> Option<f64> {
+        fit_fault_rate_on(&self.reports, self.iterations, devices)
     }
 
     /// Hard-fault (restart-forcing) events binned by the faulty
@@ -215,6 +277,48 @@ pub fn fit_fault_rate(reports: &[FaultReport], iterations: u64) -> Option<f64> {
     Some(events as f64 / iterations as f64)
 }
 
+/// [`fit_fault_rate`] scoped to a device subset: only restart-forcing
+/// events whose attributed site is in `devices` count. Attribution follows
+/// [`FaultHistory::hard_faults_by_device`] — a correlated group is one
+/// event at its first report's site — so the per-device counts and the
+/// scoped rates partition the global rate exactly. `None` when no scoped
+/// hard fault was observed (the caller falls back to its prior, not the
+/// cluster-wide rate: a placement that avoids every observed lemon should
+/// not inherit the lemons' λ).
+pub fn fit_fault_rate_on(
+    reports: &[FaultReport],
+    iterations: u64,
+    devices: &[DeviceId],
+) -> Option<f64> {
+    if iterations == 0 {
+        return None;
+    }
+    let mut seen_groups: Vec<&str> = Vec::new();
+    let mut events = 0u64;
+    for r in reports {
+        if r.fault.is_absorbable() {
+            continue;
+        }
+        // Group dedup must consume the group *before* the site filter:
+        // a correlated event is attributed to its first report's site
+        // only, even when later members of the group sit on in-scope
+        // devices.
+        if let Some(g) = r.group.as_deref() {
+            if seen_groups.contains(&g) {
+                continue;
+            }
+            seen_groups.push(g);
+        }
+        if devices.contains(&r.fault.site()) {
+            events += 1;
+        }
+    }
+    if events == 0 {
+        return None;
+    }
+    Some(events as f64 / iterations as f64)
+}
+
 /// The effective per-checkpoint write cost a run actually exhibited: its
 /// slowdown relative to a checkpoint-free run of the same schedule,
 /// amortized over the writes. This is the Young/Daly `C` to feed back
@@ -260,7 +364,11 @@ pub fn tune_checkpoint_interval(
     if tuning.total_iters == 0 {
         return None;
     }
-    let lambda = match tuning.history.as_ref().and_then(FaultHistory::fitted_rate) {
+    let fitted = tuning.history.as_ref().and_then(|h| match &tuning.devices {
+        Some(devs) => h.fitted_rate_on(devs),
+        None => h.fitted_rate(),
+    });
+    let lambda = match fitted {
         Some(fitted) => fitted,
         None => {
             let hard = tuning.plan.hard_faults();
@@ -442,6 +550,12 @@ pub struct TuneResult {
     /// time. `None` when no tuning inputs were given or the fault plan
     /// carries no hard fault.
     pub checkpoint_policy: Option<CheckpointPolicy>,
+    /// Elastic-recovery verdict for the winner under
+    /// [`TunerConfig::recovery`]: which policy is cheaper for the
+    /// configured fault scenario and where the crossover sits. `None`
+    /// when no scenario was given or no admissible shrunk pipeline
+    /// exists.
+    pub recovery: Option<RecoveryReport>,
     /// Search-effort accounting: candidates generated, pruned (with
     /// cause), simulated, emulated, and wall time.
     pub stats: SearchStats,
@@ -737,6 +851,47 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
         .checkpoint
         .as_ref()
         .and_then(|t| tune_checkpoint_interval(best.iter_ns, t));
+    // Elastic-recovery pricing for the winner: plan the shrink onto the
+    // survivors of the configured fault, simulate the shrunk pipeline's
+    // iteration time with the same build pipeline as the grid search
+    // (graph tuning included), and compare both policies over the
+    // remaining-iteration tail.
+    let recovery = cfg.recovery.as_ref().and_then(|r| {
+        let micros = admissible(model, &best.candidate, cfg.gbs)?;
+        let setup = ElasticSetup {
+            scheme: best.candidate.scheme,
+            devices: best.candidate.pp,
+            micros,
+            layers: model.layers,
+            state_bytes_per_layer: r.state_bytes_per_layer,
+            fetch_bytes_per_us: r.fetch_bytes_per_us,
+        };
+        let plan = plan_shrink(&setup, &r.lost_devices)?;
+        let shrunk = Candidate {
+            pp: plan.devices,
+            ..best.candidate
+        };
+        let (schedule, cost, cap) = build_schedule(model, gpu, cfg, shrunk, micros);
+        stats.dp_invocations += 1;
+        let shrunk_iter_ns = simulate_timeline(&schedule, &cost, cap).ok()?.total_ns;
+        let reconfig_ns = plan.startup_ns.iter().copied().max().unwrap_or(0);
+        let cmp = compare_policies(
+            best.iter_ns,
+            shrunk_iter_ns,
+            reconfig_ns,
+            r.replacement_wait_ns,
+            r.remaining_iters,
+        );
+        Some(RecoveryReport {
+            policy: cmp.policy,
+            wait_total_ns: cmp.wait_total_ns,
+            shrink_total_ns: cmp.shrink_total_ns,
+            crossover_remaining: cmp.crossover_remaining,
+            shrunk_iter_ns,
+            reconfig_ns,
+            shrunk_devices: plan.devices,
+        })
+    });
     let tuning_time = started.elapsed();
     stats.wall_time = tuning_time;
     Ok(TuneResult {
@@ -744,6 +899,7 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
         curve,
         rejected,
         checkpoint_policy,
+        recovery,
         stats,
         tuning_time,
     })
@@ -1156,6 +1312,7 @@ mod tests {
             write_ns: 5_000,
             mem_overhead: 0,
             history: None,
+            devices: None,
         };
         let prior = tune_checkpoint_interval(10_000, &tuning).unwrap();
         assert_eq!(
@@ -1199,6 +1356,7 @@ mod tests {
             write_ns: 5_000,
             mem_overhead: 128,
             history: None,
+            devices: None,
         };
         // An empty plan — and a plan of only absorbable faults — yields no
         // policy: nothing ever forces a restart.
@@ -1248,6 +1406,7 @@ mod tests {
                 write_ns: 2_000_000,
                 mem_overhead: 0,
                 history: None,
+                devices: None,
             }),
             ..small_cfg()
         };
@@ -1415,5 +1574,106 @@ mod tests {
         .unwrap();
         assert!(r.curve.iter().all(|e| e.degraded_iter_ns.is_none()));
         assert_eq!(r.best.degraded_slowdown(), None);
+    }
+
+    #[test]
+    fn scoped_rate_isolates_the_lemon_device() {
+        use mario_cluster::FaultKind;
+        use mario_ir::DeviceId;
+        let crash = |d: u32| FaultKind::Crash {
+            device: DeviceId(d),
+            pc: 0,
+        };
+        // A shared history: device 0 is a lemon (three crashes), device 2
+        // crashed once, the rest never failed.
+        let mut h = FaultHistory::default();
+        h.record(
+            [
+                fault_report(crash(0), None),
+                fault_report(crash(0), None),
+                fault_report(crash(0), None),
+                fault_report(crash(2), None),
+            ],
+            64,
+        );
+        // The scoped rates partition the global one.
+        assert_eq!(h.fitted_rate(), Some(4.0 / 64.0));
+        assert_eq!(h.fitted_rate_on(&[DeviceId(0)]), Some(3.0 / 64.0));
+        assert_eq!(h.fitted_rate_on(&[DeviceId(2)]), Some(1.0 / 64.0));
+        // A placement avoiding every observed lemon fits NO rate — the
+        // caller falls back to its prior, not the lemons' λ.
+        assert_eq!(h.fitted_rate_on(&[DeviceId(1), DeviceId(3)]), None);
+        // Correlated-group attribution: the group is consumed at its
+        // first report's site (device 0), so scoping to device 2 does not
+        // count the burst even though a later member sits there.
+        let mut g = FaultHistory::default();
+        g.record(
+            [
+                fault_report(crash(0), Some("rack-0")),
+                fault_report(crash(2), Some("rack-0")),
+            ],
+            64,
+        );
+        assert_eq!(g.fitted_rate_on(&[DeviceId(0)]), Some(1.0 / 64.0));
+        assert_eq!(g.fitted_rate_on(&[DeviceId(2)]), None);
+        // Excluding the lemon from the placement stretches the tuned
+        // interval: calmer devices, sparser checkpoints.
+        let mut tuning = CheckpointTuning {
+            plan: FaultPlan::none().with(crash(0)),
+            total_iters: 64,
+            write_ns: 5_000,
+            mem_overhead: 0,
+            history: Some(h),
+            devices: Some(vec![DeviceId(0), DeviceId(1)]),
+        };
+        let with_lemon = tune_checkpoint_interval(10_000, &tuning).unwrap();
+        tuning.devices = Some(vec![DeviceId(2), DeviceId(3)]);
+        let without = tune_checkpoint_interval(10_000, &tuning).unwrap();
+        assert_eq!(
+            with_lemon.interval_iters,
+            daly_interval(10_000, 5_000, 3.0 / 64.0, 64).unwrap()
+        );
+        assert_eq!(
+            without.interval_iters,
+            daly_interval(10_000, 5_000, 1.0 / 64.0, 64).unwrap()
+        );
+        assert!(without.interval_iters > with_lemon.interval_iters);
+    }
+
+    #[test]
+    fn tune_prices_both_recovery_policies() {
+        use mario_ir::DeviceId;
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        // No scenario configured: no verdict.
+        let r = tune(&model, &gpu, &small_cfg()).unwrap();
+        assert!(r.recovery.is_none());
+        let scenario = |replacement_wait_ns: u64, remaining_iters: u32| TunerConfig {
+            recovery: Some(RecoveryTuning {
+                lost_devices: vec![DeviceId(1)],
+                remaining_iters,
+                replacement_wait_ns,
+                state_bytes_per_layer: 1 << 20,
+                fetch_bytes_per_us: 1 << 10,
+            }),
+            ..small_cfg()
+        };
+        // A near-instant replacement with a long tail: waiting wins.
+        let r = tune(&model, &gpu, &scenario(1, 10_000)).unwrap();
+        let wait = r.recovery.expect("verdict for a configured scenario");
+        assert_eq!(wait.policy, RecoveryPolicy::WaitAndResume);
+        assert!(wait.wait_total_ns <= wait.shrink_total_ns);
+        assert!(wait.shrunk_devices < r.best.candidate.pp);
+        assert!(wait.shrunk_iter_ns >= r.best.iter_ns);
+        assert!(wait.reconfig_ns > 0);
+        // A week-long replacement queue with a short tail: shrinking wins,
+        // and the crossover horizon separates the two regimes.
+        let r = tune(&model, &gpu, &scenario(u64::MAX / 4, 1)).unwrap();
+        let shrink = r.recovery.expect("verdict");
+        assert_eq!(shrink.policy, RecoveryPolicy::ShrinkAndContinue);
+        assert!(shrink.shrink_total_ns <= shrink.wait_total_ns);
+        if let Some(r_star) = shrink.crossover_remaining {
+            assert!(r_star as u128 > 1);
+        }
     }
 }

@@ -74,6 +74,7 @@ fn daly_interval_matches_the_brute_force_emulator_sweep() {
         write_ns,
         mem_overhead: 0,
         history: None,
+        devices: None,
     };
     let policy =
         tune_checkpoint_interval(iter_ns, &tuning).expect("a hard fault yields a policy");
@@ -115,6 +116,7 @@ fn fitted_history_beats_the_plan_prior_on_a_skewed_plan() {
         write_ns,
         mem_overhead: 0,
         history: None,
+        devices: None,
     };
     let prior_k = tune_checkpoint_interval(iter_ns, &tuning)
         .expect("prior policy")
@@ -197,6 +199,7 @@ fn tuned_interval_is_independent_of_checkpoint_write_folding() {
         write_ns: clean.iter_ns / 6,
         mem_overhead: 0,
         history: None,
+        devices: None,
     };
     let from_clean = tune_checkpoint_interval(clean.iter_ns, &tuning).expect("policy");
     let from_noisy = tune_checkpoint_interval(noisy.iter_ns, &tuning).expect("policy");

@@ -2,7 +2,7 @@
 //! simulator and the cluster emulator.
 //!
 //! Both executors account every nanosecond of every device clock into the
-//! same eight [`TimeClasses`], populated with *identical arithmetic* at
+//! same nine [`TimeClasses`], populated with *identical arithmetic* at
 //! identical points (compute completion, send launch/block, recv wait,
 //! checkpoint flush). The payoff is twofold:
 //!
@@ -50,6 +50,12 @@ pub struct TimeClasses {
     pub allreduce_ns: Nanos,
     /// Optimizer step time.
     pub optimizer_ns: Nanos,
+    /// One-time state-redistribution cost charged when an elastic
+    /// reconfiguration rebuilds the pipeline on the surviving devices:
+    /// the device's clock starts at this offset, fetching the layer
+    /// state it did not already hold.
+    #[serde(default)]
+    pub reconfig_ns: Nanos,
 }
 
 impl TimeClasses {
@@ -63,6 +69,7 @@ impl TimeClasses {
             + self.ckpt_sync_ns
             + self.allreduce_ns
             + self.optimizer_ns
+            + self.reconfig_ns
     }
 
     /// Idle bubble time: send backpressure plus recv waits (the slots
@@ -273,19 +280,23 @@ mod tests {
 
     #[test]
     fn classes_sum_and_conserve() {
-        let mut c = TimeClasses::default();
-        c.compute_ns = 100;
-        c.comm_launch_ns = 10;
+        let mut c = TimeClasses {
+            compute_ns: 100,
+            comm_launch_ns: 10,
+            ..Default::default()
+        };
         c.on_recv_gap(50, 20);
         c.ckpt_sync_ns = 5;
+        c.reconfig_ns = 7;
         assert_eq!(c.recv_blocked_ns, 30);
         assert_eq!(c.ckpt_absorbed_ns, 20);
-        assert_eq!(c.total(), 165);
+        assert_eq!(c.total(), 172);
+        // Redistribution time is a charge, not an idle bubble.
         assert_eq!(c.bubble_ns(), 30);
         let mut d = DeviceTelemetry::new(DeviceId(3));
         d.classes = c;
-        assert!(d.check_conservation(165).is_ok());
-        assert!(d.check_conservation(166).is_err());
+        assert!(d.check_conservation(172).is_ok());
+        assert!(d.check_conservation(173).is_err());
     }
 
     #[test]

@@ -88,6 +88,15 @@ impl StagePartition {
     pub fn total(&self) -> u32 {
         self.layers.iter().sum()
     }
+
+    /// The half-open global layer range `[start, end)` held by stage `s`.
+    ///
+    /// Stages own contiguous, in-order slices of the model, so the range
+    /// is the prefix sum of the earlier stages' counts.
+    pub fn range_of(&self, s: u32) -> std::ops::Range<u32> {
+        let start: u32 = self.layers[..s as usize].iter().sum();
+        start..start + self.layers[s as usize]
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +141,19 @@ mod tests {
     #[should_panic(expected = "cannot split")]
     fn rejects_more_stages_than_layers() {
         let _ = StagePartition::even(4, 8);
+    }
+
+    #[test]
+    fn ranges_tile_the_model_in_order() {
+        for p in [StagePartition::even(10, 4), StagePartition::ramp(128, 8, 2)] {
+            let mut next = 0u32;
+            for s in 0..p.stages() {
+                let r = p.range_of(s);
+                assert_eq!(r.start, next, "stage {s} not contiguous");
+                assert_eq!(r.end - r.start, p.layers_of(s));
+                next = r.end;
+            }
+            assert_eq!(next, p.total());
+        }
     }
 }

@@ -664,3 +664,111 @@ proptest! {
         prop_assert!((e.b - b).abs() <= b.max(1.0) * 1e-6 + 1e-3);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Elastic shrink plans stay sound on every scheme: the planned
+    /// schedule validates at the plan's channel capacity and executes
+    /// deadlock-free on the emulator with the redistribution offsets.
+    #[test]
+    fn shrunk_plans_validate_and_execute((scheme, d, n) in scheme_config()) {
+        use mario_core::{plan_shrink, ElasticSetup};
+
+        let layers = 2 * Topology::new(scheme, d).num_stages();
+        let setup = ElasticSetup {
+            scheme,
+            devices: d,
+            micros: n,
+            layers,
+            state_bytes_per_layer: 1_000,
+            fetch_bytes_per_us: 500,
+        };
+        // Losing the last device may leave no admissible width (e.g.
+        // Chimera with one survivor) — declining is the correct answer.
+        let Some(plan) = plan_shrink(&setup, &[DeviceId(d - 1)]) else {
+            return Ok(());
+        };
+        prop_assert!(plan.devices < d);
+        prop_assert_eq!(plan.survivors.len() as u32, d - 1);
+        let opts = mario::ir::ValidateOptions {
+            channel_capacity: plan.channel_capacity,
+            ..Default::default()
+        };
+        prop_assert!(mario::ir::validate_with(&plan.schedule, opts).is_ok(),
+            "shrunk schedule invalid for {scheme:?} D={d} N={n}");
+        let cost = UnitCost::paper_grid();
+        let emu = mario::cluster::run_with_faults_startup(
+            &plan.schedule,
+            &cost,
+            EmulatorConfig {
+                channel_capacity: plan.channel_capacity,
+                ..Default::default()
+            },
+            &mario::cluster::FaultPlan::none(),
+            &plan.startup_ns,
+        );
+        prop_assert!(emu.is_ok(), "shrunk schedule deadlocked: {:?}", emu.err());
+    }
+
+    /// Sim/emu parity holds on the post-reconfiguration topology: with
+    /// zero jitter, the DP simulator's prediction of the shrunk pipeline
+    /// — redistribution offsets included — matches the emulator
+    /// bit-for-bit, telemetry and all.
+    #[test]
+    fn shrunk_topology_sim_matches_emulator((scheme, d, n) in scheme_config()) {
+        use mario_core::{plan_shrink, ElasticSetup, LayerScaledCost};
+
+        let layers = 2 * Topology::new(scheme, d).num_stages();
+        let setup = ElasticSetup {
+            scheme,
+            devices: d,
+            micros: n,
+            layers,
+            state_bytes_per_layer: 1_000,
+            fetch_bytes_per_us: 500,
+        };
+        let Some(plan) = plan_shrink(&setup, &[DeviceId(d - 1)]) else {
+            return Ok(());
+        };
+        // A layer-proportional cost exercises non-uniform stages.
+        let cost = LayerScaledCost::new(
+            UnitCost::paper_grid().with_ckpt_bytes(1),
+            scheme,
+            plan.devices,
+            layers,
+        );
+        let iterations = 2;
+        let sim = mario_core::simulate_timeline_startup(
+            &plan.schedule,
+            &cost,
+            plan.channel_capacity,
+            &PerturbationProfile::identity(),
+            iterations,
+            None,
+            &plan.startup_ns,
+        )
+        .unwrap();
+        let emu = mario::cluster::run_with_faults_startup(
+            &plan.schedule,
+            &cost,
+            EmulatorConfig {
+                channel_capacity: plan.channel_capacity,
+                iterations,
+                ..Default::default()
+            },
+            &mario::cluster::FaultPlan::none(),
+            &plan.startup_ns,
+        )
+        .unwrap();
+        prop_assert_eq!(&sim.device_clocks, &emu.device_clocks);
+        prop_assert_eq!(sim.total_ns, emu.total_ns);
+        prop_assert_eq!(&sim.telemetry, &emu.telemetry);
+        // Every device clock starts at its redistribution offset, and the
+        // offset is attributed to the reconfig_ns telemetry class.
+        for (i, t) in emu.telemetry.devices.iter().enumerate() {
+            prop_assert_eq!(t.classes.reconfig_ns, plan.startup_ns[i]);
+            prop_assert_eq!(t.classes.total(), emu.device_clocks[i]);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! This workspace never constructs a `Bytes` value — transfers are modelled
+//! by byte *counts*, not buffers — so the stub only has to exist for the
+//! dependency edge to resolve without network access. See `vendor/README.md`.
+
+/// A cheaply cloneable contiguous byte buffer (stub: a plain `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Creates a buffer from a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self(bytes.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(v)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`, covering the subset the workspace
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups
+//! with `sample_size`/`throughput`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical pipeline it reports the median of a
+//! handful of timed batches to stdout — enough to eyeball the magnitudes
+//! EXPERIMENTS.md records, with no plotting/serde/clap dependency tree.
+//! See `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box`, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Workload descriptor attached to a group (informational in the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median of `samples` batches.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One untimed warm-up to populate caches / lazy statics.
+        black_box(f());
+        let mut durations = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            durations.push(start.elapsed());
+        }
+        durations.sort();
+        self.median_ns = durations[durations.len() / 2].as_nanos();
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _c: self,
+        }
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Records the group's workload size (shown alongside timings).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b))
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input))
+    }
+
+    /// Ends the group (boundary marker in the output).
+    pub fn finish(&mut self) {
+        println!("{:<60} group done", self.name);
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            median_ns: 0,
+        };
+        f(&mut b);
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) if b.median_ns > 0 => {
+                let per_sec = n as f64 / (b.median_ns as f64 / 1e9);
+                format!("  ({per_sec:.0} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) if b.median_ns > 0 => {
+                let per_sec = n as f64 / (b.median_ns as f64 / 1e9);
+                format!("  ({per_sec:.0} B/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<60} median {}{}",
+            format!("{}/{}", self.name, id),
+            human_time(b.median_ns),
+            extra
+        );
+        self
+    }
+}
+
+fn human_time(ns: u128) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// Groups benchmark functions into one callable (`fn ()`), as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", "n=100"), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_each_closure() {
+        benches();
+    }
+
+    #[test]
+    fn durations_render_in_sensible_units() {
+        assert_eq!(human_time(12), "12 ns");
+        assert_eq!(human_time(1_500), "1.50 µs");
+        assert_eq!(human_time(Duration::from_millis(2).as_nanos()), "2.00 ms");
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for `crossbeam`, providing the bounded-channel subset
+//! the cluster emulator's virtual-time links are built on.
+//!
+//! Semantics matched to the real crate where the emulator depends on them:
+//! `bounded(n)` blocks senders when `n` messages are buffered, receivers
+//! observe disconnection once every `Sender` is dropped *and* the buffer
+//! has drained, and `recv_timeout` distinguishes `Timeout` from
+//! `Disconnected`. Backed by `std::sync::{Mutex, Condvar}`.
+//! See `vendor/README.md`.
+
+pub mod channel {
+    //! Multi-producer multi-consumer bounded channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders disconnected and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Creates a channel buffering at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                // A zero-capacity rendezvous is not needed by this
+                // workspace; round it up so sends always have a slot.
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while the buffer is full. Fails only when
+        /// every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut s = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if s.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if s.buf.len() < s.cap {
+                    s.buf.push_back(msg);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                s = self
+                    .0
+                    .not_full
+                    .wait(s)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, waiting up to `timeout` for one to arrive.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut s = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(msg) = s.buf.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(s, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                s = guard;
+            }
+        }
+
+        /// Receives a message if one is already buffered.
+        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+            let mut s = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            match s.buf.pop_front() {
+                Some(msg) => {
+                    self.0.not_full.notify_one();
+                    Ok(msg)
+                }
+                None if s.senders == 0 => Err(RecvTimeoutError::Disconnected),
+                None => Err(RecvTimeoutError::Timeout),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut s = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.senders += 1;
+            drop(s);
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut s = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.receivers += 1;
+            drop(s);
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.senders -= 1;
+            if s.senders == 0 {
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut s = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.receivers -= 1;
+            if s.receivers == 0 {
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_blocks_at_capacity_until_recv() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let t = std::thread::spawn(move || tx.send(3).unwrap());
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(1));
+            t.join().unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(2));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(3));
+        }
+
+        #[test]
+        fn disconnection_is_observed_after_drain() {
+            let (tx, rx) = bounded(4);
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn timeout_fires_when_no_sender_sends() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` widely to keep its
+//! types wire-ready, but never actually serializes through serde — the
+//! bench JSON is hand-rolled (`mario-bench::summary`) and the schedule
+//! text format has its own parser (`mario-ir::text`). The stub therefore
+//! reduces the traits to markers, blanket-implemented for every type, and
+//! re-exports no-op derives that accept `#[serde(...)]` attributes.
+//! Swapping the real crates back in requires no source changes.
+//! See `vendor/README.md`.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that can be deserialized from borrowed data with
+/// lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker for types deserializable from any lifetime (owned data).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

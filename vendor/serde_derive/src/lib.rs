@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` stub blanket-implements its marker traits for all
+//! types, so these derives have nothing to generate — they exist so
+//! `#[derive(Serialize, Deserialize)]` resolves and, crucially, so the
+//! `#[serde(...)]` helper attribute (e.g. `#[serde(default)]`) is
+//! registered and accepted by the compiler. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; registers the `#[serde(...)]` helper attribute.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; registers the `#[serde(...)]` helper attribute.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
