@@ -539,9 +539,14 @@ impl<'a> DeviceRuntime<'a> {
                     self.stalls.clear(self.device);
                     match sent {
                         Ok(t) => {
+                            // A capacity wait is idle time exactly like a
+                            // recv wait: async checkpoint chunks drain into
+                            // it too, and the drained slice is checkpoint
+                            // time rather than backpressure bubble.
                             let blocked = t.saturating_sub(self.clock);
+                            let drained = self.drain_chunks(blocked);
+                            self.telemetry.classes.on_send_gap(blocked, drained);
                             self.clock = t;
-                            self.telemetry.classes.send_blocked_ns += blocked;
                             self.link_sends
                                 .entry(peer)
                                 .or_default()
@@ -621,7 +626,8 @@ impl<'a> DeviceRuntime<'a> {
     }
 
     /// Flushes checkpoint chunks into an idle gap of `gap` ns observed at
-    /// a blocking recv: every chunk that fits in the gap drains for free
+    /// a blocking recv or a capacity-blocked send: every chunk that fits
+    /// in the gap drains for free
     /// (the device would have been waiting anyway). Once the last chunk
     /// flushes, the in-flight checkpoint becomes durable. Returns the
     /// flush time drained into the gap (telemetry's `ckpt_absorbed_ns`).

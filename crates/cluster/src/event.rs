@@ -1,0 +1,1076 @@
+//! The discrete-event executor: the emulator's scale path.
+//!
+//! One thread, no watchdog, no real-time blocking — every device is a
+//! resumable state machine and every link a plain queue of timestamped
+//! packets. The arithmetic is copied line-for-line from the thread
+//! backend ([`crate::device`] + [`crate::link`]): the same launch
+//! charges, the same `arrival = max(now, sent_at + transfer)` rule, the
+//! same ack-window capacity blocking, the same
+//! [`mario_ir::MemoryRules`] lifecycle and checkpoint chunk-drain
+//! arithmetic, the same nine-class telemetry split. With zero jitter the
+//! two backends (and the DP simulator) agree bit-for-bit — the
+//! three-way parity proptests pin it.
+//!
+//! Why any execution order works: each device's instruction sequence is
+//! fixed, each channel is FIFO, and every clock update depends only on
+//! packet timestamps — never on when the scheduler happened to run the
+//! device. The worklist is therefore confluent: any order of ready
+//! devices reaches the same final state (a property
+//! `tests/properties.rs` checks by permuting the seed order through
+//! [`run_event_ordered`]).
+//!
+//! Deadlock needs no timer here: when the worklist drains and devices
+//! are still blocked, no event can ever wake them — that *is* the
+//! deadlock, detected in zero real time where the thread backend must
+//! wait out a watchdog.
+
+use crate::device::{CkptBoard, DeviceReport, StallTable, TimelineEvent};
+use crate::error::EmuError;
+use crate::faults::{DeviceFaults, FaultKind, FaultPlan, FaultReport};
+use crate::link::Header;
+use crate::runner::{settle_report, EmulatorConfig, RunReport};
+use mario_ir::exec::MsgClass;
+use mario_ir::{
+    AllocKey, CheckpointPolicy, CostModel, DeviceId, DeviceProgram, DeviceTelemetry, Instr,
+    InstrKind, LinkSendStats, MemLedger, MemoryRules, Nanos, PartId, Schedule,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+
+/// A directed channel identity: (sender, receiver, class, part).
+type ChanKey = (DeviceId, DeviceId, MsgClass, PartId);
+
+/// One bounded-FIFO link, event-style: the data queue carries
+/// `(header, bytes, sent_at)` packets, `dequeues` buffers the receiver's
+/// arrival timestamps (the acks), and `outstanding` is the sender's
+/// un-acked window — it grows on every push and shrinks only when a
+/// capacity-blocked send consumes the oldest ack, exactly like
+/// `SendHalf::pending` and the simulator's `Channel::outstanding`.
+#[derive(Debug, Default)]
+struct EventChannel {
+    queue: VecDeque<(Header, u64, Nanos)>,
+    dequeues: VecDeque<Nanos>,
+    outstanding: usize,
+    sender_settled: bool,
+    receiver_settled: bool,
+}
+
+/// The blocking operation a device is parked on.
+#[derive(Debug, Clone, Copy)]
+enum Waiting {
+    /// A send that found its ack window full.
+    Send {
+        pc: usize,
+        start: Nanos,
+        key: ChanKey,
+        header: Header,
+        bytes: u64,
+        delay: Nanos,
+    },
+    /// A recv that found the queue empty.
+    Recv {
+        pc: usize,
+        start: Nanos,
+        key: ChanKey,
+        expect: Header,
+    },
+}
+
+impl Waiting {
+    fn pc(&self) -> usize {
+        match self {
+            Waiting::Send { pc, .. } | Waiting::Recv { pc, .. } => *pc,
+        }
+    }
+
+    /// The peer the blocked operation pairs with.
+    fn peer(&self) -> DeviceId {
+        match self {
+            Waiting::Send { key, .. } => key.1,
+            Waiting::Recv { key, .. } => key.0,
+        }
+    }
+}
+
+/// Shared, immutable context every device step needs.
+struct EvEnv<'a> {
+    rules: &'a MemoryRules,
+    stalls: &'a StallTable,
+    ckpts: &'a CkptBoard,
+    capacity: usize,
+}
+
+/// Outcome of stepping one device until it can make no more progress.
+enum Stepped {
+    /// Parked on a send or recv; a peer event must wake it.
+    Blocked,
+    /// Ran every iteration to completion.
+    Finished,
+    /// Hit a structured failure.
+    Failed(EmuError),
+}
+
+/// Outcome of one attempt at a blocking link operation.
+enum Attempt {
+    Done,
+    Blocked,
+    Fail(ChanFail),
+}
+
+/// Link-level failure, the event analogue of `LinkError` minus
+/// `Timeout` (quiescence replaces the watchdog).
+enum ChanFail {
+    Disconnected,
+    Mismatch(Header),
+}
+
+/// Per-device state: the event-backend mirror of
+/// [`crate::device::DeviceRuntime`], plus a program counter and the
+/// parked operation, so execution can suspend and resume mid-program.
+struct EvDevice<'a> {
+    device: DeviceId,
+    program: &'a DeviceProgram,
+    cost: &'a dyn CostModel,
+    ledger: MemLedger,
+    clock: Nanos,
+    rng: StdRng,
+    jitter: f64,
+    straggler: f64,
+    record: bool,
+    timeline: Vec<TimelineEvent>,
+    faults: DeviceFaults,
+    sends_to: HashMap<DeviceId, usize>,
+    absorbed: Vec<FaultReport>,
+    iteration: u32,
+    iters_total: u32,
+    pc: usize,
+    waiting: Option<Waiting>,
+    checkpoint: Option<CheckpointPolicy>,
+    last_checkpoint: u32,
+    pending_chunks: VecDeque<Nanos>,
+    pending_ckpt_iters: u32,
+    telemetry: DeviceTelemetry,
+    link_sends: HashMap<DeviceId, LinkSendStats>,
+    link_recv_wait: HashMap<DeviceId, Nanos>,
+}
+
+impl<'a> EvDevice<'a> {
+    fn new(
+        device: DeviceId,
+        program: &'a DeviceProgram,
+        cost: &'a dyn CostModel,
+        cfg: &EmulatorConfig,
+        faults: DeviceFaults,
+        startup_ns: Nanos,
+    ) -> Self {
+        // Identical straggler derivation to `DeviceRuntime::new`: a fixed
+        // per-device slowdown in [1, 1+spread], derived from the seed.
+        let mix = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((device.0 as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let unit = (mix >> 11) as f64 / (1u64 << 53) as f64;
+        let straggler = 1.0 + cfg.straggler_spread * unit;
+        let capacity = match faults.squeezed_capacity() {
+            Some(squeezed) => Some(cfg.mem_capacity.unwrap_or(u64::MAX).min(squeezed)),
+            None => cfg.mem_capacity,
+        };
+        let mut telemetry = DeviceTelemetry::new(device);
+        telemetry.classes.reconfig_ns = startup_ns;
+        Self {
+            device,
+            program,
+            cost,
+            ledger: MemLedger::new(cost.static_mem(device), capacity),
+            clock: startup_ns,
+            rng: StdRng::seed_from_u64(
+                cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(device.0 as u64 + 1)),
+            ),
+            jitter: cfg.jitter,
+            straggler,
+            record: cfg.record_timeline,
+            timeline: Vec::new(),
+            faults,
+            sends_to: HashMap::new(),
+            absorbed: Vec::new(),
+            iteration: 0,
+            iters_total: cfg.iterations,
+            pc: 0,
+            waiting: None,
+            checkpoint: cfg.checkpoint,
+            last_checkpoint: 0,
+            pending_chunks: VecDeque::new(),
+            pending_ckpt_iters: 0,
+            telemetry,
+            link_sends: HashMap::new(),
+            link_recv_wait: HashMap::new(),
+        }
+    }
+
+    fn jittered(&mut self, ns: Nanos) -> Nanos {
+        if self.jitter == 0.0 && self.straggler == 1.0 {
+            return ns;
+        }
+        let f = if self.jitter == 0.0 {
+            1.0
+        } else {
+            1.0 + self.rng.gen_range(-2.0 * self.jitter..=2.0 * self.jitter)
+        };
+        (ns as f64 * f * self.straggler).round() as Nanos
+    }
+
+    fn report(&self, fault: FaultKind, pc: usize, instr: Option<&Instr>, detail: &str) -> FaultReport {
+        FaultReport {
+            fault,
+            device: self.device,
+            pc,
+            instr: instr.map(|i| i.to_string()).unwrap_or_default(),
+            blocked_peer: None,
+            vtime: self.clock,
+            iteration: self.iteration,
+            last_checkpoint: self.last_checkpoint,
+            ckpt_paid_ns: 0,
+            group: None,
+            detail: detail.to_string(),
+        }
+    }
+
+    /// The event analogue of `DeviceRuntime::link_err`: an injected
+    /// incoming-link stall takes precedence over the mechanical failure
+    /// shape, so seeded runs reproduce identical reports on both
+    /// backends.
+    fn chan_err(&self, fail: ChanFail, pc: usize, peer: DeviceId) -> EmuError {
+        let instr = self.program.get(pc);
+        if let Some(fault) = self.faults.recv_stall_from(peer) {
+            let mut report = self.report(fault, pc, instr, "incoming link stalled");
+            report.blocked_peer = Some(peer);
+            return EmuError::Fault(Box::new(report));
+        }
+        match fail {
+            ChanFail::Disconnected => EmuError::PeerFailed {
+                device: self.device,
+                pc,
+            },
+            ChanFail::Mismatch(h) => EmuError::CommMismatch {
+                device: self.device,
+                pc,
+                detail: instr
+                    .map(|i| format!("expected {i}, got {h:?}"))
+                    .unwrap_or_else(|| format!("got {h:?}")),
+            },
+        }
+    }
+
+    fn apply_mem(&mut self, env: &EvEnv<'_>, pc: usize, instr: &Instr) -> Result<(), EmuError> {
+        let squeeze = self.faults.squeeze;
+        let device = self.device;
+        let last_checkpoint = self.last_checkpoint;
+        let vtime = self.clock;
+        let iteration = self.iteration;
+        env.rules
+            .apply(&mut self.ledger, self.cost, device, instr)
+            .map_err(|cause| match squeeze {
+                Some(fault) => EmuError::Fault(Box::new(FaultReport {
+                    fault,
+                    device,
+                    pc,
+                    instr: instr.to_string(),
+                    blocked_peer: None,
+                    vtime,
+                    iteration,
+                    last_checkpoint,
+                    ckpt_paid_ns: 0,
+                    group: None,
+                    detail: format!("memory squeezed: {cause}"),
+                })),
+                None => EmuError::Oom {
+                    device,
+                    pc,
+                    instr: instr.to_string(),
+                    cause,
+                },
+            })
+    }
+
+    fn record_event(&mut self, instr: &Instr, start: Nanos) {
+        if self.record {
+            self.timeline.push(TimelineEvent {
+                device: self.device,
+                instr: instr.to_string(),
+                start,
+                end: self.clock,
+            });
+        }
+    }
+
+    /// Identical chunk-drain arithmetic to `DeviceRuntime::drain_chunks`:
+    /// flush pending async-checkpoint chunks into an idle gap, front
+    /// first, durable once the queue empties.
+    fn drain_chunks(&mut self, env: &EvEnv<'_>, mut gap: Nanos) -> Nanos {
+        let mut drained = 0;
+        if self.pending_chunks.is_empty() {
+            return drained;
+        }
+        while let Some(&chunk) = self.pending_chunks.front() {
+            if chunk > gap {
+                return drained;
+            }
+            gap -= chunk;
+            drained += chunk;
+            self.pending_chunks.pop_front();
+            env.ckpts.record_chunk(self.device);
+        }
+        self.last_checkpoint = self.pending_ckpt_iters;
+        env.ckpts.record(self.device, self.last_checkpoint);
+        drained
+    }
+
+    /// Synchronously pays whatever the bubbles did not absorb
+    /// (`DeviceRuntime::flush_residue`).
+    fn flush_residue(&mut self, env: &EvEnv<'_>) {
+        if self.pending_chunks.is_empty() {
+            return;
+        }
+        let residue: Nanos = self.pending_chunks.iter().sum();
+        for _ in 0..self.pending_chunks.len() {
+            env.ckpts.record_chunk(self.device);
+        }
+        self.pending_chunks.clear();
+        self.clock += residue;
+        self.telemetry.classes.ckpt_sync_ns += residue;
+        env.ckpts.record_paid(self.device, residue);
+        self.last_checkpoint = self.pending_ckpt_iters;
+        env.ckpts.record(self.device, self.last_checkpoint);
+    }
+
+    /// End-of-run residue flush (`DeviceRuntime::drain_checkpoint`).
+    fn drain_checkpoint(&mut self, env: &EvEnv<'_>) {
+        let start = self.clock;
+        self.flush_residue(env);
+        if self.record && self.clock > start {
+            self.timeline.push(TimelineEvent {
+                device: self.device,
+                instr: "CKPT".to_string(),
+                start,
+                end: self.clock,
+            });
+        }
+    }
+
+    /// End-of-iteration checkpoint write
+    /// (`DeviceRuntime::checkpoint_boundary`), arithmetic unchanged.
+    fn checkpoint_boundary(&mut self, env: &EvEnv<'_>, iter_idx: u32) -> Result<(), EmuError> {
+        let Some(policy) = self.checkpoint else {
+            return Ok(());
+        };
+        if !policy.is_boundary(iter_idx) {
+            return Ok(());
+        }
+        let start = self.clock;
+        self.flush_residue(env);
+        // The serialization buffer is checked before any write cost is
+        // charged or durability recorded.
+        let pc = self.program.len();
+        if let Err(cause) = self.ledger.alloc(AllocKey::Snapshot, policy.mem_overhead) {
+            return Err(match self.faults.squeeze {
+                Some(fault) => EmuError::Fault(Box::new(FaultReport {
+                    fault,
+                    device: self.device,
+                    pc,
+                    instr: "CKPT".to_string(),
+                    blocked_peer: None,
+                    vtime: self.clock,
+                    iteration: self.iteration,
+                    last_checkpoint: self.last_checkpoint,
+                    ckpt_paid_ns: 0,
+                    group: None,
+                    detail: format!("memory squeezed: {cause}"),
+                })),
+                None => EmuError::Oom {
+                    device: self.device,
+                    pc,
+                    instr: "CKPT".to_string(),
+                    cause,
+                },
+            });
+        }
+        self.ledger.free(AllocKey::Snapshot);
+        // The write is a model parameter, not a kernel: unjittered.
+        let shard = self.cost.ckpt_shard_bytes(self.device);
+        if policy.async_overlap() {
+            let chunks = policy.device_chunk_times(shard);
+            if chunks.is_empty() {
+                self.last_checkpoint = iter_idx + 1;
+                env.ckpts.record(self.device, self.last_checkpoint);
+            } else {
+                self.pending_chunks = chunks.into();
+                self.pending_ckpt_iters = iter_idx + 1;
+            }
+        } else {
+            let write = policy.device_write_ns(shard);
+            self.clock += write;
+            self.telemetry.classes.ckpt_sync_ns += write;
+            env.ckpts.record_paid(self.device, write);
+            self.last_checkpoint = iter_idx + 1;
+            env.ckpts.record(self.device, self.last_checkpoint);
+        }
+        if self.record {
+            self.timeline.push(TimelineEvent {
+                device: self.device,
+                instr: "CKPT".to_string(),
+                start,
+                end: self.clock,
+            });
+        }
+        Ok(())
+    }
+
+    /// Finishes the run and reports (`DeviceRuntime::finish`, by
+    /// mutable reference so the scheduler can keep the device slot).
+    fn finish(&mut self) -> DeviceReport {
+        let mut telemetry = std::mem::take(&mut self.telemetry);
+        telemetry.device = self.device;
+        telemetry.peak_mem = self.ledger.peak();
+        telemetry.absorbed_faults = self.absorbed.len() as u32;
+        debug_assert_eq!(
+            telemetry.classes.total(),
+            self.clock,
+            "{}: time classes do not conserve the clock",
+            self.device
+        );
+        DeviceReport {
+            clock: self.clock,
+            peak_mem: self.ledger.peak(),
+            leaked: self.ledger.live_count(),
+            timeline: std::mem::take(&mut self.timeline),
+            absorbed: std::mem::take(&mut self.absorbed),
+            last_checkpoint: self.last_checkpoint,
+            telemetry,
+            link_sends: std::mem::take(&mut self.link_sends),
+            link_recv_wait: std::mem::take(&mut self.link_recv_wait),
+        }
+    }
+}
+
+/// One attempt at a parked send: the event-queue mirror of
+/// `SendHalf::send_delayed` plus the post-send accounting from the
+/// thread backend's send arm (capacity wait, chunk drain, gap split,
+/// link stats).
+fn try_send(
+    dev: &mut EvDevice<'_>,
+    env: &EvEnv<'_>,
+    chan: &mut EventChannel,
+    peer: DeviceId,
+    header: Header,
+    bytes: u64,
+    delay: Nanos,
+) -> Attempt {
+    let mut now = dev.clock;
+    if chan.outstanding == env.capacity {
+        match chan.dequeues.pop_front() {
+            // The buffer was full until the receiver dequeued the
+            // oldest packet: the send completes at that time.
+            Some(dequeued_at) => {
+                chan.outstanding -= 1;
+                now = now.max(dequeued_at);
+            }
+            // No ack will ever come: the receiver settled. FIFO order
+            // guarantees every genuine ack was consumed first — the
+            // exact observation the thread backend's ack-poison makes.
+            None if chan.receiver_settled => {
+                env.stalls.clear(dev.device);
+                return Attempt::Fail(ChanFail::Disconnected);
+            }
+            None => return Attempt::Blocked,
+        }
+    }
+    chan.queue.push_back((header, bytes, now + delay));
+    chan.outstanding += 1;
+    // Occupancy right after the send: the un-acked window.
+    let occupancy = chan.outstanding as u32;
+    env.stalls.clear(dev.device);
+    // A capacity wait is idle time exactly like a recv wait: async
+    // checkpoint chunks drain into it too.
+    let blocked = now.saturating_sub(dev.clock);
+    let drained = dev.drain_chunks(env, blocked);
+    dev.telemetry.classes.on_send_gap(blocked, drained);
+    dev.clock = now;
+    dev.link_sends
+        .entry(peer)
+        .or_default()
+        .on_send(bytes, blocked, occupancy);
+    Attempt::Done
+}
+
+/// One attempt at a parked recv: the mirror of `RecvHalf::recv` plus
+/// the thread backend's recv-arm accounting (gap, chunk drain,
+/// recv-wait stats).
+fn try_recv(
+    dev: &mut EvDevice<'_>,
+    env: &EvEnv<'_>,
+    chan: &mut EventChannel,
+    peer: DeviceId,
+    expect: Header,
+) -> Attempt {
+    let Some(&(header, bytes, sent_at)) = chan.queue.front() else {
+        if chan.sender_settled {
+            // Queue drained and the sender will never send again:
+            // FIFO-ordered end-of-stream, after all genuine packets.
+            env.stalls.clear(dev.device);
+            return Attempt::Fail(ChanFail::Disconnected);
+        }
+        return Attempt::Blocked;
+    };
+    chan.queue.pop_front();
+    env.stalls.clear(dev.device);
+    if header != expect {
+        // The mismatched packet is consumed and never acked, exactly
+        // like the thread backend.
+        return Attempt::Fail(ChanFail::Mismatch(header));
+    }
+    let arrival = dev
+        .clock
+        .max(sent_at + dev.cost.p2p_time_between(peer, dev.device, bytes));
+    chan.dequeues.push_back(arrival);
+    let gap = arrival.saturating_sub(dev.clock);
+    let drained = dev.drain_chunks(env, gap);
+    dev.telemetry.classes.on_recv_gap(gap, drained);
+    *dev.link_recv_wait.entry(peer).or_default() += gap;
+    dev.clock = arrival;
+    Attempt::Done
+}
+
+/// Runs one device until it blocks, finishes, or fails. Instruction
+/// semantics are copied from `DeviceRuntime::run_iteration`; the only
+/// structural difference is that blocking sends/recvs park the device
+/// (`EvDevice::waiting`) instead of blocking a thread, and the loop top
+/// owns the single resume path.
+fn step(
+    dev: &mut EvDevice<'_>,
+    env: &EvEnv<'_>,
+    chans: &mut HashMap<ChanKey, EventChannel>,
+    wakes: &mut Vec<usize>,
+) -> Stepped {
+    loop {
+        // Resume a parked operation first: the one completion path for
+        // both the initial attempt and every retry.
+        if let Some(w) = dev.waiting {
+            match w {
+                Waiting::Send {
+                    pc,
+                    start,
+                    key,
+                    header,
+                    bytes,
+                    delay,
+                } => {
+                    let chan = chans.get_mut(&key).expect("send channel was discovered");
+                    match try_send(dev, env, chan, key.1, header, bytes, delay) {
+                        Attempt::Blocked => return Stepped::Blocked,
+                        Attempt::Done => {
+                            dev.waiting = None;
+                            wakes.push(key.1.index());
+                            let program = dev.program;
+                            let instr = program.get(pc).expect("pc in range");
+                            if let Err(e) = dev.apply_mem(env, pc, instr) {
+                                return Stepped::Failed(e);
+                            }
+                            dev.record_event(instr, start);
+                            dev.pc = pc + 1;
+                        }
+                        Attempt::Fail(f) => {
+                            dev.waiting = None;
+                            return Stepped::Failed(dev.chan_err(f, pc, key.1));
+                        }
+                    }
+                }
+                Waiting::Recv {
+                    pc,
+                    start,
+                    key,
+                    expect,
+                } => {
+                    let chan = chans.get_mut(&key).expect("recv channel was discovered");
+                    match try_recv(dev, env, chan, key.0, expect) {
+                        Attempt::Blocked => return Stepped::Blocked,
+                        Attempt::Done => {
+                            dev.waiting = None;
+                            wakes.push(key.0.index());
+                            let program = dev.program;
+                            let instr = program.get(pc).expect("pc in range");
+                            dev.record_event(instr, start);
+                            dev.pc = pc + 1;
+                        }
+                        Attempt::Fail(f) => {
+                            dev.waiting = None;
+                            return Stepped::Failed(dev.chan_err(f, pc, key.0));
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        if dev.iteration >= dev.iters_total {
+            // No bubbles remain past the last instruction: pay any
+            // async-checkpoint residue so the final checkpoint is
+            // durable when the run ends.
+            dev.drain_checkpoint(env);
+            return Stepped::Finished;
+        }
+        let program = dev.program;
+        if dev.pc >= program.len() {
+            if let Err(e) = dev.checkpoint_boundary(env, dev.iteration) {
+                return Stepped::Failed(e);
+            }
+            dev.iteration += 1;
+            dev.pc = 0;
+            // Packet numbering is per-iteration, matching `send_sites`
+            // and the profile's `LinkSlack::nth`.
+            dev.sends_to.clear();
+            continue;
+        }
+        let pc = dev.pc;
+        let instr = program.get(pc).expect("pc in range");
+        let faults_active = !dev.faults.is_empty() && dev.iteration == dev.faults.iteration;
+        if faults_active {
+            if let Some(fault @ FaultKind::Crash { pc: at, .. }) = dev.faults.crash {
+                if at == pc {
+                    return Stepped::Failed(EmuError::Fault(Box::new(dev.report(
+                        fault,
+                        pc,
+                        Some(instr),
+                        "device crashed",
+                    ))));
+                }
+            }
+        }
+        let start = dev.clock;
+        match instr.kind {
+            InstrKind::Forward { .. }
+            | InstrKind::Backward
+            | InstrKind::BackwardInput
+            | InstrKind::BackwardWeight
+            | InstrKind::Recompute => {
+                let mut dur = dev.jittered(dev.cost.duration(dev.device, instr));
+                if faults_active {
+                    let factor = dev.faults.slow_factor(dev.iteration, pc);
+                    if factor != 1.0 {
+                        dur = (dur as f64 * factor).round() as Nanos;
+                        let fault = dev
+                            .faults
+                            .slowdowns
+                            .iter()
+                            .copied()
+                            .find(|s| matches!(*s, FaultKind::Slowdown { from_pc, until_pc, .. } if (from_pc..until_pc).contains(&pc)));
+                        if let Some(fault) = fault {
+                            // One report per fault, not one per slowed
+                            // instruction.
+                            if !dev.absorbed.iter().any(|r| r.fault == fault) {
+                                let rep = dev.report(fault, pc, Some(instr), "compute slowed");
+                                dev.absorbed.push(rep);
+                            }
+                        }
+                    }
+                }
+                dev.clock += dur;
+                dev.telemetry.classes.compute_ns += dur;
+                if let Err(e) = dev.apply_mem(env, pc, instr) {
+                    return Stepped::Failed(e);
+                }
+                dev.record_event(instr, start);
+                dev.pc = pc + 1;
+            }
+            InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => {
+                let class = if matches!(instr.kind, InstrKind::SendAct { .. }) {
+                    MsgClass::Act
+                } else {
+                    MsgClass::Grad
+                };
+                let launch = dev.cost.p2p_launch_overhead();
+                dev.clock += launch;
+                dev.telemetry.classes.comm_launch_ns += launch;
+                let nth = {
+                    let c = dev.sends_to.entry(peer).or_insert(0);
+                    let n = *c;
+                    *c += 1;
+                    n
+                };
+                let fault = if faults_active {
+                    dev.faults.send_fault(dev.iteration, peer, nth)
+                } else {
+                    None
+                };
+                if let Some(stall @ FaultKind::LinkStall { .. }) = fault {
+                    // Drop the packet: the receiver's pairing recv can
+                    // never complete and reports the stall; the send
+                    // side absorbs it.
+                    let rep = dev.report(stall, pc, Some(instr), "packet dropped");
+                    dev.absorbed.push(rep);
+                    if let Err(e) = dev.apply_mem(env, pc, instr) {
+                        return Stepped::Failed(e);
+                    }
+                    dev.record_event(instr, start);
+                    dev.pc = pc + 1;
+                    continue;
+                }
+                let delay = match fault {
+                    Some(f @ FaultKind::LinkDelay { extra_ns, .. }) => {
+                        let rep = dev.report(f, pc, Some(instr), "packet delayed");
+                        dev.absorbed.push(rep);
+                        extra_ns
+                    }
+                    _ => 0,
+                };
+                let header = Header {
+                    class,
+                    micro: instr.micro,
+                    part: instr.part,
+                };
+                let bytes = dev.cost.boundary_bytes(dev.device, instr.part);
+                let key = (dev.device, peer, class, instr.part);
+                if !chans.contains_key(&key) {
+                    return Stepped::Failed(EmuError::NoRoute {
+                        device: dev.device,
+                        pc,
+                        peer,
+                    });
+                }
+                env.stalls.enter(dev.device, peer, pc);
+                dev.waiting = Some(Waiting::Send {
+                    pc,
+                    start,
+                    key,
+                    header,
+                    bytes,
+                    delay,
+                });
+            }
+            InstrKind::RecvAct { peer } | InstrKind::RecvGrad { peer } => {
+                let class = if matches!(instr.kind, InstrKind::RecvAct { .. }) {
+                    MsgClass::Act
+                } else {
+                    MsgClass::Grad
+                };
+                let launch = dev.cost.p2p_launch_overhead();
+                dev.clock += launch;
+                dev.telemetry.classes.comm_launch_ns += launch;
+                let expect = Header {
+                    class,
+                    micro: instr.micro,
+                    part: instr.part,
+                };
+                let key = (peer, dev.device, class, instr.part);
+                if !chans.contains_key(&key) {
+                    return Stepped::Failed(EmuError::NoRoute {
+                        device: dev.device,
+                        pc,
+                        peer,
+                    });
+                }
+                env.stalls.enter(dev.device, peer, pc);
+                dev.waiting = Some(Waiting::Recv {
+                    pc,
+                    start,
+                    key,
+                    expect,
+                });
+            }
+            InstrKind::AllReduce => {
+                let dt = dev.cost.allreduce_time(dev.device);
+                dev.clock += dt;
+                dev.telemetry.classes.allreduce_ns += dt;
+                dev.record_event(instr, start);
+                dev.pc = pc + 1;
+            }
+            InstrKind::OptimizerStep => {
+                let dt = dev.cost.optimizer_time(dev.device);
+                dev.clock += dt;
+                dev.telemetry.classes.optimizer_ns += dt;
+                dev.record_event(instr, start);
+                dev.pc = pc + 1;
+            }
+        }
+    }
+}
+
+/// Per-device lists of the channel keys each device sends on (`out`)
+/// and receives on (`inp`), for settlement.
+struct Wiring {
+    out: Vec<Vec<ChanKey>>,
+    inp: Vec<Vec<ChanKey>>,
+}
+
+/// Mutable scheduler state threaded through [`drain_queue`] and
+/// [`settle`].
+struct Sched<'a> {
+    devs: Vec<EvDevice<'a>>,
+    chans: HashMap<ChanKey, EventChannel>,
+    wiring: Wiring,
+    queue: VecDeque<usize>,
+    queued: Vec<bool>,
+    results: Vec<Option<Result<DeviceReport, EmuError>>>,
+}
+
+impl<'a> Sched<'a> {
+    /// Enqueues `d` unless it already settled or is already queued.
+    fn wake(&mut self, d: usize) {
+        if d < self.results.len() && self.results[d].is_none() && !self.queued[d] {
+            self.queued[d] = true;
+            self.queue.push_back(d);
+        }
+    }
+
+    /// Marks every channel half of settled device `d` as ended — the
+    /// event mirror of `poison_links`: peers observe end-of-stream only
+    /// after consuming all genuine traffic (FIFO order) — and wakes the
+    /// affected peers.
+    fn settle(&mut self, d: usize) {
+        let out = std::mem::take(&mut self.wiring.out[d]);
+        for key in &out {
+            if let Some(chan) = self.chans.get_mut(key) {
+                chan.sender_settled = true;
+            }
+            self.wake(key.1.index());
+        }
+        self.wiring.out[d] = out;
+        let inp = std::mem::take(&mut self.wiring.inp[d]);
+        for key in &inp {
+            if let Some(chan) = self.chans.get_mut(key) {
+                chan.receiver_settled = true;
+            }
+            self.wake(key.0.index());
+        }
+        self.wiring.inp[d] = inp;
+    }
+
+    /// Runs the worklist dry: steps every queued device, records
+    /// settlements, propagates wakes.
+    fn drain_queue(&mut self, env: &EvEnv<'_>) {
+        while let Some(d) = self.queue.pop_front() {
+            self.queued[d] = false;
+            if self.results[d].is_some() {
+                continue;
+            }
+            let mut wakes = Vec::new();
+            let outcome = step(&mut self.devs[d], env, &mut self.chans, &mut wakes);
+            match outcome {
+                Stepped::Blocked => {}
+                Stepped::Finished => {
+                    let report = self.devs[d].finish();
+                    self.results[d] = Some(Ok(report));
+                    self.settle(d);
+                }
+                Stepped::Failed(e) => {
+                    env.stalls.clear(DeviceId(d as u32));
+                    self.results[d] = Some(Err(e));
+                    self.settle(d);
+                }
+            }
+            for w in wakes {
+                self.wake(w);
+            }
+        }
+    }
+}
+
+/// Runs `schedule` on the discrete-event backend (no injected faults).
+/// The event-backend equivalent of [`crate::run`].
+pub fn run_event(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+) -> Result<RunReport, EmuError> {
+    run_event_with_faults(schedule, cost, cfg, &FaultPlan::none())
+}
+
+/// [`run_event`] with the faults of `plan` injected — the event-backend
+/// equivalent of [`crate::run_with_faults`].
+pub fn run_event_with_faults(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+) -> Result<RunReport, EmuError> {
+    run_event_with_faults_startup(schedule, cost, cfg, plan, &[])
+}
+
+/// [`run_event_with_faults`] with per-device startup offsets (elastic
+/// reconfiguration charges) — the event-backend equivalent of
+/// [`crate::run_with_faults_startup`], which dispatches here when
+/// [`EmulatorConfig::backend`] is [`crate::EmulatorBackend::Event`].
+pub fn run_event_with_faults_startup(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    startup: &[Nanos],
+) -> Result<RunReport, EmuError> {
+    let order: Vec<u32> = (0..schedule.devices()).collect();
+    run_event_ordered(schedule, cost, cfg, plan, startup, &order)
+}
+
+/// [`run_event_with_faults_startup`] with an explicit initial worklist
+/// order. The executor is confluent — any permutation of `order`
+/// produces a bit-identical result — and the determinism proptests
+/// exercise exactly that by permuting it.
+#[doc(hidden)]
+pub fn run_event_ordered(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    startup: &[Nanos],
+    order: &[u32],
+) -> Result<RunReport, EmuError> {
+    let devices = schedule.devices() as usize;
+    let mut seen = vec![false; devices];
+    for &d in order {
+        assert!(
+            (d as usize) < devices && !std::mem::replace(&mut seen[d as usize], true),
+            "order must be a permutation of 0..{devices}"
+        );
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "order must cover every device 0..{devices}"
+    );
+
+    let rules = MemoryRules::new(schedule);
+    let stalls = StallTable::new(devices);
+    let ckpts = CkptBoard::new(devices);
+    let env = EvEnv {
+        rules: &rules,
+        stalls: &stalls,
+        ckpts: &ckpts,
+        capacity: cfg.channel_capacity,
+    };
+
+    // Discover which directed (sender, receiver, class, part) links
+    // exist — the same scan the thread backend performs.
+    let mut chans: HashMap<ChanKey, EventChannel> = HashMap::new();
+    let mut wiring = Wiring {
+        out: vec![Vec::new(); devices],
+        inp: vec![Vec::new(); devices],
+    };
+    for prog in schedule.programs() {
+        for (_, i) in prog.iter() {
+            let (peer, class) = match i.kind {
+                InstrKind::SendAct { peer } => (peer, MsgClass::Act),
+                InstrKind::SendGrad { peer } => (peer, MsgClass::Grad),
+                _ => continue,
+            };
+            let key = (prog.device, peer, class, i.part);
+            if let std::collections::hash_map::Entry::Vacant(slot) = chans.entry(key) {
+                slot.insert(EventChannel::default());
+                wiring.out[prog.device.index()].push(key);
+                if let Some(keys) = wiring.inp.get_mut(peer.index()) {
+                    keys.push(key);
+                }
+            }
+        }
+    }
+
+    let devs: Vec<EvDevice> = (0..devices)
+        .map(|d| {
+            let device = DeviceId(d as u32);
+            EvDevice::new(
+                device,
+                schedule.program(device),
+                cost,
+                &cfg,
+                plan.for_device(device),
+                startup.get(d).copied().unwrap_or(0),
+            )
+        })
+        .collect();
+
+    let mut sched = Sched {
+        devs,
+        chans,
+        wiring,
+        queue: VecDeque::with_capacity(devices),
+        queued: vec![true; devices],
+        results: (0..devices).map(|_| None).collect(),
+    };
+    for &d in order {
+        sched.queue.push_back(d as usize);
+    }
+    sched.drain_queue(&env);
+
+    // Quiescence, phase 1: devices parked on a link with an injected
+    // incoming stall are the stall surfacing — the event analogue of
+    // the thread backend's watchdog-timeout-then-`recv_stall_from`
+    // normalization in `link_err`. Settling one can cascade (peers
+    // observe the failure), so loop until no stall fires.
+    loop {
+        let mut fired = false;
+        for d in 0..devices {
+            if sched.results[d].is_some() {
+                continue;
+            }
+            let Some(w) = sched.devs[d].waiting else {
+                continue;
+            };
+            let peer = w.peer();
+            let Some(fault) = sched.devs[d].faults.recv_stall_from(peer) else {
+                continue;
+            };
+            let pc = w.pc();
+            let instr = sched.devs[d].program.get(pc);
+            let mut report = sched.devs[d].report(fault, pc, instr, "incoming link stalled");
+            report.blocked_peer = Some(peer);
+            stalls.clear(DeviceId(d as u32));
+            sched.results[d] = Some(Err(EmuError::Fault(Box::new(report))));
+            sched.settle(d);
+            fired = true;
+        }
+        if !fired {
+            break;
+        }
+        sched.drain_queue(&env);
+    }
+
+    // Quiescence, phase 2: anything still parked can never be woken —
+    // that is a deadlock, detected in zero real time. Snapshot every
+    // wait chain *before* settling anyone, so the named cycles do not
+    // depend on settlement order.
+    let parked: Vec<usize> = (0..devices).filter(|&d| sched.results[d].is_none()).collect();
+    let chains: Vec<Vec<DeviceId>> = parked
+        .iter()
+        .map(|&d| stalls.wait_chain(DeviceId(d as u32)))
+        .collect();
+    for (&d, cycle) in parked.iter().zip(chains) {
+        let device = DeviceId(d as u32);
+        let (pc, instr) = match sched.devs[d].waiting {
+            Some(w) => {
+                let pc = w.pc();
+                (
+                    pc,
+                    sched.devs[d]
+                        .program
+                        .get(pc)
+                        .map(|i| i.to_string())
+                        .unwrap_or_default(),
+                )
+            }
+            None => (sched.devs[d].pc, String::new()),
+        };
+        stalls.clear(device);
+        sched.results[d] = Some(Err(EmuError::DeadlockSuspected {
+            device,
+            pc,
+            instr,
+            cycle,
+        }));
+        sched.settle(d);
+    }
+    sched.drain_queue(&env);
+
+    let results = sched
+        .results
+        .into_iter()
+        .map(|r| r.expect("every device settles before the worklist drains"))
+        .collect();
+    settle_report(results, &cfg, plan, &ckpts)
+}

@@ -29,15 +29,17 @@
 
 pub mod device;
 pub mod error;
+pub mod event;
 pub mod faults;
 pub mod link;
 pub mod runner;
 
 pub use device::{CkptBoard, DeviceReport, StallTable, TimelineEvent};
 pub use error::EmuError;
+pub use event::{run_event, run_event_with_faults, run_event_with_faults_startup};
 pub use faults::{FaultGroup, FaultKind, FaultPlan, FaultReport};
 pub use runner::{
     effective_watchdog, run, run_with_elastic_recovery, run_with_faults, run_with_faults_startup,
-    run_with_recovery, ElasticRun, EmulatorConfig, Reconfiguration, ReconfigureEvent,
-    RecoveredRun, RecoveryPolicy, RunReport,
+    run_with_recovery, ElasticRun, EmulatorBackend, EmulatorConfig, Reconfiguration,
+    ReconfigureEvent, RecoveredRun, RecoveryPolicy, RunReport,
 };

@@ -22,6 +22,28 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
 
+/// Which executor [`run`] and friends drive.
+///
+/// Both consume the same instruction lists, the same `MemoryRules`
+/// lifecycle, the same bounded-FIFO link semantics and the same
+/// checkpoint arithmetic, and agree bit-for-bit on every clock,
+/// telemetry class and fault report (the three-way parity proptests pin
+/// this). They differ only in *how* virtual time advances.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmulatorBackend {
+    /// One OS thread per device with blocking rendezvous links — the
+    /// concurrency oracle. Real blocking means schedule bugs (deadlocks,
+    /// mis-paired sends) manifest as they would on hardware, but thread
+    /// count caps it at tens of devices.
+    #[default]
+    Thread,
+    /// Single-threaded discrete-event executor — the scale path. No
+    /// threads, no watchdog, quiescence detection instead of timeouts;
+    /// emulates thousands of devices in the time the thread backend
+    /// needs for dozens.
+    Event,
+}
+
 /// Emulator knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EmulatorConfig {
@@ -48,8 +70,13 @@ pub struct EmulatorConfig {
     /// Minimum real-time watchdog for blocking ops. The effective watchdog
     /// additionally scales with schedule size (see [`effective_watchdog`])
     /// so big schedules on loaded machines are not misdiagnosed as
-    /// deadlocked; exceeding it means deadlock.
+    /// deadlocked; exceeding it means deadlock. Ignored by the event
+    /// backend, which detects deadlock by quiescence, not by time.
     pub watchdog: Duration,
+    /// Which executor to drive: the thread-per-device concurrency oracle
+    /// or the single-threaded discrete-event scale path. Both produce
+    /// bit-identical reports.
+    pub backend: EmulatorBackend,
 }
 
 impl Default for EmulatorConfig {
@@ -64,6 +91,7 @@ impl Default for EmulatorConfig {
             record_timeline: false,
             checkpoint: None,
             watchdog: Duration::from_secs(2),
+            backend: EmulatorBackend::Thread,
         }
     }
 }
@@ -75,11 +103,24 @@ const WATCHDOG_CAP: Duration = Duration::from_secs(60);
 
 /// The watchdog actually armed for `schedule` under `cfg`: the configured
 /// floor, grown with the work a single device might have to wait behind
-/// (instructions × iterations), capped at [`WATCHDOG_CAP`]. A fixed
-/// wall-clock watchdog misfires on schedules much larger than the default
-/// was tuned for; scaling keeps "no progress" meaning "deadlock".
+/// (its *own* program length × iterations), capped at [`WATCHDOG_CAP`].
+/// A fixed wall-clock watchdog misfires on schedules much larger than the
+/// default was tuned for; scaling keeps "no progress" meaning "deadlock".
+///
+/// Scaling by the *per-device* instruction count, not the schedule total,
+/// matters at high device counts: devices execute concurrently, so the
+/// longest wait any one device can legitimately experience grows with its
+/// peers' program lengths, not with their number. The old total-size
+/// scaling hit [`WATCHDOG_CAP`] on wide clusters and stalled a genuine
+/// deadlock for the full ceiling before reporting it.
 pub fn effective_watchdog(schedule: &Schedule, cfg: &EmulatorConfig) -> Duration {
-    let work = schedule.total_instrs() as u32 * cfg.iterations.max(1);
+    let longest = schedule
+        .programs()
+        .iter()
+        .map(|p| p.len())
+        .max()
+        .unwrap_or(0) as u32;
+    let work = longest * cfg.iterations.max(1);
     let scaled = WATCHDOG_PER_INSTR.saturating_mul(work).min(WATCHDOG_CAP);
     cfg.watchdog.max(scaled)
 }
@@ -177,6 +218,9 @@ pub fn run_with_faults_startup(
     plan: &FaultPlan,
     startup: &[Nanos],
 ) -> Result<RunReport, EmuError> {
+    if cfg.backend == EmulatorBackend::Event {
+        return crate::event::run_event_with_faults_startup(schedule, cost, cfg, plan, startup);
+    }
     let devices = schedule.devices() as usize;
     let rules = mario_ir::MemoryRules::new(schedule);
     let watchdog = effective_watchdog(schedule, &cfg);
@@ -299,7 +343,25 @@ pub fn run_with_faults_startup(
         }
     });
 
-    let mut reports = Vec::with_capacity(devices);
+    settle_report(results, &cfg, plan, &ckpts)
+}
+
+/// Merges per-device outcomes into a [`RunReport`] (or the run's
+/// root-cause error). Shared by the thread and event backends so
+/// root-cause selection, critical-path arithmetic and telemetry assembly
+/// cannot drift between them.
+///
+/// Reports may carry *any* device ids — they need not be contiguous or
+/// dense (an elastic shrink's survivor set, for instance): everything
+/// below keys by each report's own device id, never by its position in
+/// the vector.
+pub(crate) fn settle_report(
+    results: Vec<Result<DeviceReport, EmuError>>,
+    cfg: &EmulatorConfig,
+    plan: &FaultPlan,
+    ckpts: &CkptBoard,
+) -> Result<RunReport, EmuError> {
+    let mut reports = Vec::with_capacity(results.len());
     let mut errors = Vec::new();
     for r in results {
         match r {
@@ -333,13 +395,14 @@ pub fn run_with_faults_startup(
     // interval tuner, both of which want the schedule's compute/comm time
     // with the checkpoint writes factored *out*: subtract what the
     // critical-path device actually paid writing checkpoints, then round
-    // to nearest instead of truncating.
-    let critical = device_clocks
+    // to nearest instead of truncating. The critical device is named by
+    // its report's id, not its vector position — the two differ on a
+    // gappy survivor set.
+    let critical = reports
         .iter()
-        .enumerate()
-        .max_by_key(|(_, c)| **c)
-        .map_or(0, |(d, _)| d);
-    let ckpt_free_ns = total_ns.saturating_sub(ckpts.paid_of(DeviceId(critical as u32)));
+        .max_by_key(|r| r.clock)
+        .map_or(DeviceId(0), |r| r.telemetry.device);
+    let ckpt_free_ns = total_ns.saturating_sub(ckpts.paid_of(critical));
     let iters = cfg.iterations.max(1) as u64;
     let iter_ns = (ckpt_free_ns + iters / 2) / iters;
     let mut timeline: Vec<TimelineEvent> = reports
@@ -368,10 +431,25 @@ pub fn run_with_faults_startup(
             r.link_recv_wait.iter().map(move |(&src, &ns)| ((src, dst), ns))
         }),
     );
+    // Conservation is checked against clocks keyed by device *id* (the
+    // index `check_conservation` uses), which only coincides with report
+    // order when ids happen to be dense.
+    let clocks_by_id = {
+        let slots = reports
+            .iter()
+            .map(|r| r.telemetry.device.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut v = vec![0; slots];
+        for r in &reports {
+            v[r.telemetry.device.index()] = r.clock;
+        }
+        v
+    };
     debug_assert!(
-        telemetry.check_conservation(&device_clocks).is_ok(),
+        telemetry.check_conservation(&clocks_by_id).is_ok(),
         "telemetry conservation violated: {:?}",
-        telemetry.check_conservation(&device_clocks)
+        telemetry.check_conservation(&clocks_by_id)
     );
     debug_assert_eq!(telemetry.total_ckpt_sync_ns(), ckpts.total_paid());
     Ok(RunReport {
@@ -1351,5 +1429,58 @@ mod tests {
         let report = err.fault_report().expect("fault attribution");
         assert_eq!(report.device, DeviceId(0));
         assert_eq!(report.fault, plan.faults[0]);
+    }
+
+    #[test]
+    fn settle_report_survives_gappy_device_ids() {
+        // An elastic shrink can leave survivors {1, 3, 6} out of an
+        // original 7-device pipeline: report order no longer coincides
+        // with device id, and neither the critical-device selection nor
+        // the conservation bookkeeping may index reports by position.
+        use mario_ir::DeviceTelemetry;
+        let mk = |id: u32, clock: Nanos, ckpt: Nanos| {
+            let mut telemetry = DeviceTelemetry::new(DeviceId(id));
+            telemetry.classes.compute_ns = clock - ckpt;
+            telemetry.classes.ckpt_sync_ns = ckpt;
+            telemetry.peak_mem = 10 + id as u64;
+            DeviceReport {
+                clock,
+                peak_mem: 10 + id as u64,
+                leaked: 0,
+                timeline: Vec::new(),
+                absorbed: Vec::new(),
+                last_checkpoint: 0,
+                telemetry,
+                link_sends: HashMap::new(),
+                link_recv_wait: HashMap::new(),
+            }
+        };
+        let ckpts = CkptBoard::new(7);
+        ckpts.record_paid(DeviceId(1), 40);
+        ckpts.record_paid(DeviceId(3), 100);
+        ckpts.record_paid(DeviceId(6), 40);
+        // Device 3 is critical (max clock) but sits at vector index 1;
+        // a dense-id assumption would subtract device 6's paid time (or
+        // index out of bounds) instead of device 3's.
+        let results = vec![
+            Ok(mk(1, 500, 40)),
+            Ok(mk(3, 900, 100)),
+            Ok(mk(6, 700, 40)),
+        ];
+        let cfg = EmulatorConfig {
+            iterations: 2,
+            ..Default::default()
+        };
+        let report = settle_report(results, &cfg, &FaultPlan::none(), &ckpts).unwrap();
+        assert_eq!(report.total_ns, 900);
+        // (900 - paid_of(critical=3)) / 2 iterations, rounded to nearest.
+        assert_eq!(report.iter_ns, 400);
+        // Clocks and peaks stay in report (survivor) order.
+        assert_eq!(report.device_clocks, vec![500, 900, 700]);
+        assert_eq!(report.peak_mem, vec![11, 13, 16]);
+        assert_eq!(report.ckpt_overhead_ns, 180);
+        // Telemetry keeps the real device ids, not positions.
+        let ids: Vec<u32> = report.telemetry.devices.iter().map(|d| d.device.0).collect();
+        assert_eq!(ids, vec![1, 3, 6]);
     }
 }

@@ -155,6 +155,63 @@ fn truncated_program_is_detected_without_hanging() {
 }
 
 #[test]
+fn deadlocked_64_device_ring_is_detected_within_budget() {
+    use mario_cluster::{EmulatorBackend, EmuError};
+    use mario_ir::{DeviceId, Instr, Schedule, Topology};
+
+    // A 64-wide recv-first ring: every device waits for its successor
+    // before sending to its predecessor, so nobody ever sends — a
+    // genuine deadlock at a device count where watchdog mis-scaling
+    // used to stall for the full ceiling before reporting.
+    const D: u32 = 64;
+    let topo = Topology::new(SchemeKind::OneFOneB, D);
+    let mut s = Schedule::empty(topo, 1, vec![0]);
+    for j in 0..D {
+        let next = DeviceId((j + 1) % D);
+        let prev = DeviceId((j + D - 1) % D);
+        let p = s.program_mut(DeviceId(j));
+        p.push(Instr::recv_act(0u32, 0u32, next));
+        p.push(Instr::send_act(0u32, 0u32, prev));
+    }
+    let cfg = EmulatorConfig {
+        watchdog: Duration::from_millis(300),
+        ..Default::default()
+    };
+    // The scaled watchdog grows with the *per-device* instruction count
+    // (2 here), never with the 64-wide schedule total: it must sit at
+    // the configured floor.
+    assert_eq!(mario_cluster::effective_watchdog(&s, &cfg), cfg.watchdog);
+    let t0 = std::time::Instant::now();
+    let err = run(&s, &unit(), cfg).unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(matches!(err, EmuError::DeadlockSuspected { .. }), "{err}");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "deadlock detection took {elapsed:?}, budget was ~300ms + teardown"
+    );
+    // The event backend needs no watchdog at all: quiescence finds the
+    // same deadlock in zero virtual time and names the full ring.
+    let err = run(
+        &s,
+        &unit(),
+        EmulatorConfig {
+            backend: EmulatorBackend::Event,
+            ..cfg
+        },
+    )
+    .unwrap_err();
+    match err {
+        EmuError::DeadlockSuspected { device, cycle, .. } => {
+            assert_eq!(device, DeviceId(0));
+            // The chain walks the whole ring and closes on the start.
+            assert_eq!(cycle.len() as u32, D + 1);
+            assert_eq!(cycle.first(), cycle.last());
+        }
+        e => panic!("expected deadlock, got {e}"),
+    }
+}
+
+#[test]
 fn forty_iterations_accumulate_linearly() {
     let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8));
     let one = run(&s, &unit(), EmulatorConfig::default()).unwrap();

@@ -208,7 +208,8 @@ impl CkptSim {
     }
 
     /// Flushes whole chunks into an idle gap of `gap` ns (a blocking recv
-    /// wait). The checkpoint becomes durable only when the queue empties.
+    /// wait or a capacity-blocked send). The checkpoint becomes durable
+    /// only when the queue empties.
     /// Returns the flush time drained into the gap (the telemetry's
     /// `ckpt_absorbed_ns`) — the emulator's `drain_chunks`, bit for bit.
     fn drain(&mut self, d: usize, mut gap: Nanos) -> Nanos {
@@ -493,7 +494,14 @@ pub fn simulate_timeline_startup(
                     ch.queue.push_back((id, clocks[d] + extra));
                     ch.outstanding += 1;
                     tel[d].classes.comm_launch_ns += launch;
-                    tel[d].classes.send_blocked_ns += blocked;
+                    // A capacity wait is idle time exactly like a recv
+                    // wait: async checkpoint chunks drain into it too —
+                    // the emulator's send-side chunk flush, bit for bit.
+                    let drained = match ckpt.as_mut() {
+                        Some(ck) => ck.drain(d, blocked),
+                        None => 0,
+                    };
+                    tel[d].classes.on_send_gap(blocked, drained);
                     // Bytes are counted at the send site with the sender's
                     // id — the emulator's exact accounting.
                     link_sends.entry((dev.0, peer.0)).or_default().on_send(

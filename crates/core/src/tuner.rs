@@ -73,6 +73,11 @@ pub struct TunerConfig {
     /// accepting it, falling back to the next-best candidate when
     /// validation fails (at most [`MAX_VALIDATION_RUNS`] emulator runs).
     pub validate_on_emulator: bool,
+    /// Which emulator backend validation runs on. Both agree bit-for-bit
+    /// (the parity proptests pin it); the event backend validates
+    /// candidates at device counts where a thread per device cannot even
+    /// spawn.
+    pub validation_backend: mario_cluster::EmulatorBackend,
     /// Known cluster degradation (stragglers, slow links). When set, the
     /// tuner re-simulates its top-[`MAX_DEGRADED_EVALS`] candidates under
     /// this profile, records the degraded iteration time next to the
@@ -110,6 +115,7 @@ impl TunerConfig {
             dp_efficiency: 0.97,
             prepose: true,
             validate_on_emulator: false,
+            validation_backend: mario_cluster::EmulatorBackend::default(),
             perturbation: None,
             checkpoint: None,
             recovery: None,
@@ -920,6 +926,7 @@ fn validate_candidate(
     let emu_cfg = mario_cluster::EmulatorConfig {
         channel_capacity: cap,
         mem_capacity: Some(cfg.mem_capacity),
+        backend: cfg.validation_backend,
         ..Default::default()
     };
     match mario_cluster::run(&schedule, &cost, emu_cfg) {
@@ -1113,6 +1120,37 @@ mod tests {
         // candidate validates first try and nothing is rejected.
         assert!(r.rejected.is_empty(), "{:?}", r.rejected);
         assert!(r.best.throughput > 0.0);
+    }
+
+    #[test]
+    fn event_backend_validation_selects_the_same_candidate() {
+        // Backend parity holds on the exact schedules the tuner replays,
+        // so routing validation through the event executor must change
+        // nothing about the outcome — only how far it can scale.
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        let thread = tune(
+            &model,
+            &gpu,
+            &TunerConfig {
+                validate_on_emulator: true,
+                ..small_cfg()
+            },
+        )
+        .unwrap();
+        let event = tune(
+            &model,
+            &gpu,
+            &TunerConfig {
+                validate_on_emulator: true,
+                validation_backend: mario_cluster::EmulatorBackend::Event,
+                ..small_cfg()
+            },
+        )
+        .unwrap();
+        assert_eq!(thread.best.candidate, event.best.candidate);
+        assert_eq!(thread.best.iter_ns, event.best.iter_ns);
+        assert!(event.rejected.is_empty(), "{:?}", event.rejected);
     }
 
     #[test]

@@ -92,6 +92,20 @@ impl TimeClasses {
         self.recv_blocked_ns += gap - drained;
         self.ckpt_absorbed_ns += drained;
     }
+
+    /// Records a capacity-blocked send wait of `gap` ns of which `drained`
+    /// ns were consumed flushing checkpoint chunks. Backpressure bubbles
+    /// absorb async chunks exactly like recv bubbles; the split point is
+    /// likewise unique so the classes cannot double-count.
+    ///
+    /// # Panics
+    /// Panics when `drained > gap` (chunks cannot drain time that was
+    /// never idle).
+    pub fn on_send_gap(&mut self, gap: Nanos, drained: Nanos) {
+        assert!(drained <= gap, "drained {drained} ns > send gap {gap} ns");
+        self.send_blocked_ns += gap - drained;
+        self.ckpt_absorbed_ns += drained;
+    }
 }
 
 /// One device's telemetry: time classes plus counters.
@@ -303,6 +317,23 @@ mod tests {
     #[should_panic(expected = "recv gap")]
     fn draining_more_than_the_gap_is_rejected() {
         TimeClasses::default().on_recv_gap(10, 11);
+    }
+
+    #[test]
+    fn send_gaps_split_like_recv_gaps() {
+        let mut c = TimeClasses::default();
+        c.on_send_gap(50, 30);
+        assert_eq!(c.send_blocked_ns, 20);
+        assert_eq!(c.ckpt_absorbed_ns, 30);
+        // Both bubble classes stay bubbles; absorbed time does not.
+        assert_eq!(c.bubble_ns(), 20);
+        assert_eq!(c.total(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "send gap")]
+    fn draining_more_than_the_send_gap_is_rejected() {
+        TimeClasses::default().on_send_gap(10, 11);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! mario generate --scheme V --devices 4 --micros 8 [--mario] [--out s.txt]
 //! mario optimize --model gpt3-1.6b --devices 8 --gbs 128 [--mem-gb 40] [--out s.txt]
 //! mario simulate --schedule s.txt --model gpt3-1.6b --mbs 2 [--viz] [--trace t.json]
-//! mario emulate  --schedule s.txt --model gpt3-1.6b --mbs 2 [--jitter 0.02]
+//! mario emulate  --schedule s.txt --model gpt3-1.6b --mbs 2 [--jitter 0.02] [--backend event]
 //! ```
 //!
 //! Schedules travel in the `mario-schedule v1` text format
@@ -28,6 +28,7 @@ USAGE:
                  [--tp <T>] [--viz] [--trace <file>]
   mario emulate  --schedule <file> --model <name> --mbs <M>
                  [--tp <T>] [--jitter <f>] [--iterations <k>]
+                 [--backend <thread|event>]
 
 MODELS: gpt3-1.6b | gpt3-13b | llama2-3b | llama2-13b | gpt3-h<hidden>
 ";
@@ -238,6 +239,11 @@ fn cmd_emulate(args: &Args) -> Result<(), String> {
     if iterations == 0 {
         return Err("--iterations must be at least 1".into());
     }
+    let backend = match args.flags.get("backend").map(String::as_str) {
+        None | Some("thread") => EmulatorBackend::Thread,
+        Some("event") => EmulatorBackend::Event,
+        Some(other) => return Err(format!("--backend must be thread or event, got '{other}'")),
+    };
     let report = mario::cluster::run(
         &schedule,
         &cost,
@@ -245,6 +251,7 @@ fn cmd_emulate(args: &Args) -> Result<(), String> {
             channel_capacity: cap,
             jitter,
             iterations,
+            backend,
             ..Default::default()
         },
     )

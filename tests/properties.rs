@@ -29,6 +29,21 @@ fn cap_of(scheme: SchemeKind) -> usize {
     }
 }
 
+/// A deterministic Fisher–Yates permutation of `0..devices`, for the
+/// event executor's order-insensitivity checks.
+fn permutation(devices: u32, seed: u64) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..devices).collect();
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for i in (1..v.len()).rev() {
+        s = s
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let j = (s >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -78,8 +93,9 @@ proptest! {
         );
     }
 
-    /// The DP simulator and the threaded emulator agree exactly when
-    /// jitter is zero — on timing and on peak memory.
+    /// Three-way parity: the DP simulator, the threaded emulator and the
+    /// discrete-event executor agree exactly when jitter is zero — on
+    /// timing and on peak memory.
     #[test]
     fn simulator_matches_emulator((scheme, d, n) in scheme_config()) {
         let s = generate(ScheduleConfig::new(scheme, d, n));
@@ -87,17 +103,26 @@ proptest! {
         let cap = cap_of(scheme);
         let sim = simulate_timeline(&s, &cost, cap).unwrap();
         let mem = simulate_memory(&s, &cost, None);
-        let emu = mario::cluster::run(
+        let cfg = EmulatorConfig {
+            channel_capacity: cap,
+            ..Default::default()
+        };
+        let emu = mario::cluster::run(&s, &cost, cfg).unwrap();
+        let ev = mario::cluster::run(
             &s,
             &cost,
             EmulatorConfig {
-                channel_capacity: cap,
-                ..Default::default()
+                backend: EmulatorBackend::Event,
+                ..cfg
             },
         )
         .unwrap();
-        prop_assert_eq!(sim.device_clocks, emu.device_clocks);
-        prop_assert_eq!(mem.peak, emu.peak_mem);
+        prop_assert_eq!(&sim.device_clocks, &emu.device_clocks);
+        prop_assert_eq!(&mem.peak, &emu.peak_mem);
+        prop_assert_eq!(&ev.device_clocks, &emu.device_clocks,
+            "event backend diverged on {:?} D={} N={}", scheme, d, n);
+        prop_assert_eq!(&ev.peak_mem, &emu.peak_mem);
+        prop_assert_eq!(ev.total_ns, emu.total_ns);
     }
 
     /// Mario never increases the simulated makespan relative to naive
@@ -456,17 +481,23 @@ proptest! {
             Some(policy),
         )
         .expect("checkpointed simulation completes");
-        let emu = mario::cluster::run(
+        let cfg = EmulatorConfig {
+            channel_capacity: cap,
+            iterations: iters,
+            checkpoint: Some(policy),
+            ..Default::default()
+        };
+        let emu = mario::cluster::run(&s, &cost, cfg)
+            .expect("checkpointed emulation completes");
+        let ev = mario::cluster::run(
             &s,
             &cost,
             EmulatorConfig {
-                channel_capacity: cap,
-                iterations: iters,
-                checkpoint: Some(policy),
-                ..Default::default()
+                backend: EmulatorBackend::Event,
+                ..cfg
             },
         )
-        .expect("checkpointed emulation completes");
+        .expect("checkpointed event emulation completes");
         prop_assert_eq!(&sim.device_clocks, &emu.device_clocks,
             "scheme {:?} D={} N={} mode {} k={} iters {}", scheme, d, n, mode, k, iters);
         prop_assert_eq!(sim.total_ns, emu.total_ns);
@@ -474,6 +505,63 @@ proptest! {
             "paid-write accounting diverged on {:?} D={} N={} mode {} k={} iters {}",
             scheme, d, n, mode, k, iters);
         prop_assert_eq!(sim.last_checkpoint, emu.last_checkpoint);
+        prop_assert_eq!(&ev.device_clocks, &emu.device_clocks,
+            "event backend diverged on {:?} D={} N={} mode {} k={} iters {}",
+            scheme, d, n, mode, k, iters);
+        prop_assert_eq!(ev.total_ns, emu.total_ns);
+        prop_assert_eq!(ev.ckpt_overhead_ns, emu.ckpt_overhead_ns);
+        prop_assert_eq!(ev.last_checkpoint, emu.last_checkpoint);
+    }
+}
+
+// The send-blocked drain fix, pinned three ways at channel capacity 2:
+// Chimera's bidirectional pipelines at capacity 2 produce genuine
+// capacity-blocked sends, so an async sharded write that only drained
+// into recv gaps would leave residue here. The DP simulator, the thread
+// emulator and the event executor must agree on every checkpoint mode.
+#[test]
+fn checkpointed_parity_holds_on_capacity2_chimera() {
+    let s = generate(ScheduleConfig::new(SchemeKind::Chimera, 4, 8));
+    let cost = PerDeviceShards(UnitCost::paper_grid());
+    let sharded = ShardedWrite::new(2_000, 600);
+    for mode in 0u8..3 {
+        let policy = match mode {
+            0 => CheckpointPolicy::every(1).with_write_ns(700),
+            1 => CheckpointPolicy::every(1).with_sharded(sharded),
+            _ => CheckpointPolicy::every(1).with_sharded(sharded.with_async_overlap()),
+        };
+        let sim = simulate_timeline_ckpt(
+            &s,
+            &cost,
+            2,
+            &PerturbationProfile::identity(),
+            3,
+            Some(policy),
+        )
+        .expect("capacity-2 checkpointed simulation completes");
+        let cfg = EmulatorConfig {
+            channel_capacity: 2,
+            iterations: 3,
+            checkpoint: Some(policy),
+            ..Default::default()
+        };
+        let emu = mario::cluster::run(&s, &cost, cfg)
+            .expect("capacity-2 checkpointed emulation completes");
+        let ev = mario::cluster::run(
+            &s,
+            &cost,
+            EmulatorConfig {
+                backend: EmulatorBackend::Event,
+                ..cfg
+            },
+        )
+        .expect("capacity-2 checkpointed event emulation completes");
+        assert_eq!(sim.device_clocks, emu.device_clocks, "mode {mode}");
+        assert_eq!(sim.ckpt_overhead_ns, emu.ckpt_overhead_ns, "mode {mode}");
+        assert_eq!(sim.telemetry, emu.telemetry, "mode {mode}");
+        assert_eq!(ev.device_clocks, emu.device_clocks, "mode {mode} (event)");
+        assert_eq!(ev.ckpt_overhead_ns, emu.ckpt_overhead_ns, "mode {mode} (event)");
+        assert_eq!(ev.telemetry, emu.telemetry, "mode {mode} (event)");
     }
 }
 
@@ -516,20 +604,29 @@ proptest! {
             policy,
         )
         .expect("simulation completes");
-        let emu = mario::cluster::run(
+        let cfg = EmulatorConfig {
+            channel_capacity: cap,
+            iterations: iters,
+            checkpoint: policy,
+            ..Default::default()
+        };
+        let emu = mario::cluster::run(&s, &cost, cfg).expect("emulation completes");
+        let ev = mario::cluster::run(
             &s,
             &cost,
             EmulatorConfig {
-                channel_capacity: cap,
-                iterations: iters,
-                checkpoint: policy,
-                ..Default::default()
+                backend: EmulatorBackend::Event,
+                ..cfg
             },
         )
-        .expect("emulation completes");
+        .expect("event emulation completes");
         prop_assert_eq!(&sim.telemetry, &emu.telemetry,
             "telemetry diverged on {:?} D={} N={} mode {} k={} iters {}",
             scheme, d, n, mode, k, iters);
+        prop_assert_eq!(&ev.telemetry, &emu.telemetry,
+            "event telemetry diverged on {:?} D={} N={} mode {} k={} iters {}",
+            scheme, d, n, mode, k, iters);
+        prop_assert_eq!(&ev.device_clocks, &emu.device_clocks);
         prop_assert!(sim.telemetry.check_conservation(&sim.device_clocks).is_ok(),
             "{:?}", sim.telemetry.check_conservation(&sim.device_clocks));
         prop_assert!(emu.telemetry.check_conservation(&emu.device_clocks).is_ok(),
@@ -540,6 +637,59 @@ proptest! {
         prop_assert_eq!(sim.telemetry.total_ckpt_sync_ns(), sim.ckpt_overhead_ns);
         let bf = emu.telemetry.bubble_fraction(&emu.device_clocks);
         prop_assert!((0.0..=1.0).contains(&bf), "bubble fraction {bf}");
+    }
+}
+
+// Event-executor determinism: repeated runs are bit-identical, and the
+// result is insensitive to the worklist's tie-breaking order — any
+// permutation of the initial device order produces the same clocks,
+// telemetry and absorbed-fault reports, including under a seeded
+// absorbable fault plan (the confluence property that justifies running
+// the event core as a stand-in for the thread oracle at scale).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn event_executor_is_deterministic_and_order_insensitive(
+        (scheme, d, n) in scheme_config(),
+        fault_seed in 0u64..512,
+        perm_seed in 0u64..u64::MAX,
+        iters in 1u32..=3,
+    ) {
+        use mario::cluster::FaultPlan;
+
+        let s = generate(ScheduleConfig::new(scheme, d, n));
+        let cost = UnitCost::paper_grid().with_ckpt_bytes(1);
+        let plan = FaultPlan::single_absorbable(fault_seed, &s)
+            .at_iteration((fault_seed % iters as u64) as u32);
+        prop_assert!(plan.is_absorbable());
+        let cfg = EmulatorConfig {
+            channel_capacity: cap_of(scheme),
+            iterations: iters,
+            backend: EmulatorBackend::Event,
+            ..Default::default()
+        };
+        let base = mario::cluster::run_with_faults(&s, &cost, cfg, &plan)
+            .expect("absorbable plan completes on the event backend");
+        // Determinism: a second run is bit-identical.
+        let again = mario::cluster::run_with_faults(&s, &cost, cfg, &plan)
+            .expect("second run completes");
+        prop_assert_eq!(&base.device_clocks, &again.device_clocks);
+        prop_assert_eq!(base.total_ns, again.total_ns);
+        prop_assert_eq!(&base.telemetry, &again.telemetry);
+        prop_assert_eq!(&base.faults, &again.faults);
+        // Order insensitivity: seeding the worklist in any permutation of
+        // the device order changes nothing.
+        let order = permutation(d, perm_seed);
+        let shuffled = mario::cluster::event::run_event_ordered(
+            &s, &cost, cfg, &plan, &[], &order,
+        )
+        .expect("permuted worklist completes");
+        prop_assert_eq!(&base.device_clocks, &shuffled.device_clocks,
+            "order-sensitive result on {:?} D={} N={} order {:?}", scheme, d, n, order);
+        prop_assert_eq!(base.total_ns, shuffled.total_ns);
+        prop_assert_eq!(&base.telemetry, &shuffled.telemetry);
+        prop_assert_eq!(&base.faults, &shuffled.faults);
     }
 }
 
