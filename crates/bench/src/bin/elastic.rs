@@ -1,8 +1,10 @@
 //! Elastic-recovery sweep: a 4-device pipeline loses a device at a swept
 //! iteration; shrink-and-continue answers wait-and-resume across all
-//! five schemes. Exits non-zero if any scenario violates the elastic
-//! invariant (sim-exact tails, attributable redistribution, conserved
-//! clocks) or any scheme fails to cross both policy regimes. Pass
+//! five schemes, and a cascading sweep arms a second crash that fires on
+//! the already-shrunk pipeline. Exits non-zero if any scenario violates
+//! the elastic invariant (sim-exact tails, attributable redistribution,
+//! conserved clocks, composable shrinks) or any scheme fails to cross
+//! both policy regimes. Pass
 //! `--smoke` for a two-point CI sweep and `--json` for a
 //! machine-readable `results/elastic.json`.
 fn main() {
@@ -16,6 +18,8 @@ fn main() {
     };
     let rows = elastic::run(&sweep);
     println!("{}", elastic::render(&rows));
+    let cascades = elastic::run_cascades();
+    println!("{}", elastic::render_cascades(&cascades));
     let schemes_crossed = elastic::schemes()
         .iter()
         .filter(|s| {
@@ -29,7 +33,12 @@ fn main() {
         let mut s = RunSummary::new("elastic")
             .metric("scenarios_total", rows.len() as f64)
             .metric("scenarios_ok", ok as f64)
-            .metric("schemes_crossed", schemes_crossed as f64);
+            .metric("schemes_crossed", schemes_crossed as f64)
+            .metric("cascades_total", cascades.len() as f64)
+            .metric(
+                "cascades_ok",
+                cascades.iter().filter(|r| r.ok).count() as f64,
+            );
         for r in &rows {
             let mut row = JsonObj::new()
                 .str("scheme", &r.scheme)
@@ -53,9 +62,30 @@ fn main() {
             }
             s.push_row(row);
         }
+        for r in &cascades {
+            let mut row = JsonObj::new()
+                .str("kind", "cascade")
+                .str("scheme", &r.scheme)
+                .int("first_iter", r.first_iter)
+                .int("second_iter", r.second_iter)
+                .int("attempts", r.attempts)
+                .str("widths", &r.widths)
+                .int("reconfigs", r.reconfigs as u64)
+                .int("reconfig_ns", r.reconfig_ns)
+                .int("resumed_from", r.resumed_from)
+                .int("total_ns_with_replay", r.total_ns_with_replay)
+                .bool("ok", r.ok);
+            if !r.detail.is_empty() {
+                row = row.str("detail", &r.detail);
+            }
+            s.push_row(row);
+        }
         summary::emit(&s);
     }
-    if rows.iter().any(|r| !r.ok) || schemes_crossed < elastic::schemes().len() {
+    if rows.iter().any(|r| !r.ok)
+        || cascades.iter().any(|r| !r.ok)
+        || schemes_crossed < elastic::schemes().len()
+    {
         std::process::exit(1);
     }
 }

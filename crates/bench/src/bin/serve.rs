@@ -1,0 +1,70 @@
+//! Serving-latency sweep: forward-only fill–drain pipelines under
+//! open-loop load, priced by the five training schemes' cost models,
+//! pristine and under injected faults (crash, rack failure, straggler).
+//! Exits non-zero if the fill–drain closed form `(m+p-1)·F` is violated,
+//! if any scenario fails its invariant, or if p99 is not finite under an
+//! injected rack failure. Pass `--smoke` for a single-load CI run and
+//! `--json` for a machine-readable `results/serve.json`.
+fn main() {
+    use mario_bench::experiments::serve;
+    use mario_bench::{summary, JsonObj, RunSummary};
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let gate = serve::closed_form();
+    println!("{}", serve::render_closed_form(&gate));
+    let rows = serve::run(smoke);
+    println!("{}", serve::render(&rows));
+
+    let rack_ok = rows
+        .iter()
+        .filter(|r| r.fault == "rack")
+        .all(|r| r.ok && r.p99_ns > 0 && r.p99_ns < u64::MAX);
+    if summary::json_requested() {
+        let mut s = RunSummary::new("serve")
+            .metric("closed_form_ok", gate.iter().filter(|r| r.ok).count() as f64)
+            .metric("closed_form_total", gate.len() as f64)
+            .metric("scenarios_total", rows.len() as f64)
+            .metric(
+                "scenarios_ok",
+                rows.iter().filter(|r| r.ok).count() as f64,
+            )
+            .metric("rack_p99_finite", if rack_ok { 1.0 } else { 0.0 });
+        for r in &gate {
+            s.push_row(
+                JsonObj::new()
+                    .str("kind", "closed_form")
+                    .int("p", r.p)
+                    .int("m", r.m)
+                    .int("total_ns", r.total_ns)
+                    .int("expect_ns", r.expect_ns)
+                    .num("bubble_fraction", r.bubble_fraction)
+                    .bool("ok", r.ok),
+            );
+        }
+        for r in &rows {
+            s.push_row(
+                JsonObj::new()
+                    .str("kind", "sweep")
+                    .str("scheme", &r.scheme)
+                    .str("fault", &r.fault)
+                    .num("load", r.load)
+                    .int("requests", r.requests)
+                    .int("completed", r.completed)
+                    .int("deadline_misses", r.deadline_misses)
+                    .int("retries", r.retries)
+                    .int("attempts", r.attempts)
+                    .int("faults_hit", r.faults_hit as u64)
+                    .int("p50_ns", r.p50_ns)
+                    .int("p99_ns", r.p99_ns)
+                    .num("slo_attainment", r.slo_attainment)
+                    .num("goodput_rps", r.goodput_rps)
+                    .str("outcome", &r.outcome)
+                    .bool("ok", r.ok),
+            );
+        }
+        summary::emit(&s);
+    }
+    if gate.iter().any(|r| !r.ok) || rows.iter().any(|r| !r.ok) || !rack_ok {
+        std::process::exit(1);
+    }
+}

@@ -449,6 +449,266 @@ fn scenario(
     }
 }
 
+/// One cascading-fault scenario: a second crash, armed on the first
+/// fault's plan ([`FaultPlan::arming`]), fires after the pipeline
+/// already shrank once — the elastic loop must compose repeated shrinks
+/// (or fall back to plain restart when the planner declines a second
+/// one).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CascadeScenario {
+    /// Scheme label (`G`, `V`, `X`, `W`, `H`).
+    pub scheme: String,
+    /// Iteration the first device dies in.
+    pub first_iter: u32,
+    /// Iteration (within the shrunk attempt) the second device dies in.
+    pub second_iter: u32,
+    /// Total attempts (3 = both faults cost one attempt each).
+    pub attempts: u32,
+    /// Pipeline widths the session traversed, e.g. `4→3→2` (a planner
+    /// that declines the second shrink leaves the width in place).
+    pub widths: String,
+    /// Reconfigurations performed (1 when the second shrink was
+    /// declined, 2 when both composed).
+    pub reconfigs: usize,
+    /// Summed redistribution charge across reconfigurations, ns.
+    pub reconfig_ns: u64,
+    /// Iterations covered by the checkpoint the final attempt resumed
+    /// from.
+    pub resumed_from: u32,
+    /// Whole-session virtual time including replayed work, ns.
+    pub total_ns_with_replay: u64,
+    /// Whether every cascading invariant held.
+    pub ok: bool,
+    /// Violation detail (empty when `ok`).
+    pub detail: String,
+}
+
+/// Runs one cascading scenario: crash the last device at `first_iter`,
+/// arming a crash of (current) device 0 at `second_iter` of the next
+/// attempt. The reconfigure closure re-plans from whatever width the
+/// pipeline currently has, so shrinks compose.
+fn cascade_scenario(scheme: SchemeKind, first_iter: u32, second_iter: u32) -> CascadeScenario {
+    let schedule = generate(ScheduleConfig::new(scheme, DEVICES, MICROS));
+    let cost = LayerScaledCost::new(UnitCost::paper_grid(), scheme, DEVICES, LAYERS);
+    let cfg = EmulatorConfig {
+        channel_capacity: channel_capacity(scheme),
+        iterations: ITERS,
+        checkpoint: Some(CheckpointPolicy::every(CKPT_EVERY).with_write_ns(WRITE_NS)),
+        watchdog: Duration::from_millis(300),
+        ..Default::default()
+    };
+    let followup = FaultPlan::none()
+        .with(FaultKind::Crash {
+            device: DeviceId(0),
+            pc: 0,
+        })
+        .at_iteration(second_iter);
+    let plan = FaultPlan::none()
+        .with(FaultKind::Crash {
+            device: DeviceId(DEVICES - 1),
+            pc: 0,
+        })
+        .at_iteration(first_iter)
+        .arming(followup);
+
+    let mut ok = true;
+    let mut detail = String::new();
+    let fail = |ok: &mut bool, detail: &mut String, msg: String| {
+        *ok = false;
+        if !detail.is_empty() {
+            detail.push_str("; ");
+        }
+        detail.push_str(&msg);
+    };
+
+    // Re-plan from the current width each time, so the second shrink
+    // starts from the first one's survivors.
+    let mut width = DEVICES;
+    let mut widths = vec![DEVICES];
+    let run = run_with_elastic_recovery(&schedule, &cost, cfg, &plan, 3, |report| {
+        let setup = ElasticSetup {
+            devices: width,
+            ..elastic_setup(scheme)
+        };
+        let p = plan_shrink(&setup, &[report.fault.site()])?;
+        width = p.devices;
+        widths.push(p.devices);
+        let degraded = LayerScaledCost::new(UnitCost::paper_grid(), scheme, p.devices, LAYERS);
+        Some(p.into_reconfiguration(Box::new(degraded)))
+    });
+    let run = match run {
+        Ok(r) => r,
+        Err(e) => {
+            return CascadeScenario {
+                scheme: scheme.shape_letter().into(),
+                first_iter,
+                second_iter,
+                attempts: 0,
+                widths: String::new(),
+                reconfigs: 0,
+                reconfig_ns: 0,
+                resumed_from: 0,
+                total_ns_with_replay: 0,
+                ok: false,
+                detail: format!("cascading recovery failed: {e}"),
+            };
+        }
+    };
+
+    // Both faults fired and each cost exactly one attempt.
+    if run.attempts != 3 || run.fault_log.len() != 2 {
+        fail(
+            &mut ok,
+            &mut detail,
+            format!(
+                "expected 3 attempts / 2 faults, got {} / {}",
+                run.attempts,
+                run.fault_log.len()
+            ),
+        );
+    }
+    // Widths strictly decrease through every accepted rebuild, and the
+    // event log matches the planner's trace.
+    if !widths.windows(2).all(|w| w[1] < w[0]) {
+        fail(&mut ok, &mut detail, format!("widths not decreasing: {widths:?}"));
+    }
+    if run.reconfigurations.len() != widths.len() - 1 {
+        fail(
+            &mut ok,
+            &mut detail,
+            format!(
+                "{} reconfigurations but {} planned shrinks",
+                run.reconfigurations.len(),
+                widths.len() - 1
+            ),
+        );
+    }
+    for (ev, w) in run.reconfigurations.iter().zip(widths.iter().skip(1)) {
+        if ev.devices_after != *w || ev.moved_bytes == 0 || ev.reconfig_ns == 0 {
+            fail(&mut ok, &mut detail, format!("degenerate rebuild: {ev:?}"));
+        }
+    }
+    // The summed charge matches the event log, and the final attempt's
+    // telemetry carries the *last* rebuild's charge with conserved
+    // clocks.
+    let event_sum: u64 = run.reconfigurations.iter().map(|e| e.reconfig_ns).sum();
+    if run.reconfig_ns != event_sum {
+        fail(
+            &mut ok,
+            &mut detail,
+            format!("charged {} ns, events sum to {event_sum}", run.reconfig_ns),
+        );
+    }
+    // The telemetry class only carries a charge when the *final* attempt
+    // followed a rebuild (a declined second shrink restarts in place,
+    // state already resident — nothing to redistribute).
+    let last_fault_rebuilt = run.reconfigurations.len() == run.fault_log.len();
+    if let Some(last) = run.reconfigurations.last().filter(|_| last_fault_rebuilt) {
+        let tel = run
+            .report
+            .telemetry
+            .devices
+            .iter()
+            .map(|d| d.classes.reconfig_ns)
+            .max()
+            .unwrap_or(0);
+        if tel != last.reconfig_ns {
+            fail(
+                &mut ok,
+                &mut detail,
+                format!("telemetry shows {tel} ns of reconfig, last rebuild charged {}", last.reconfig_ns),
+            );
+        }
+    }
+    for (d, clock) in run
+        .report
+        .telemetry
+        .devices
+        .iter()
+        .zip(&run.report.device_clocks)
+    {
+        if d.classes.total() != *clock {
+            fail(
+                &mut ok,
+                &mut detail,
+                format!(
+                    "device {} classes sum to {} but its clock is {clock}",
+                    d.device.0,
+                    d.classes.total()
+                ),
+            );
+        }
+    }
+
+    CascadeScenario {
+        scheme: scheme.shape_letter().into(),
+        first_iter,
+        second_iter,
+        attempts: run.attempts,
+        widths: widths
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join("→"),
+        reconfigs: run.reconfigurations.len(),
+        reconfig_ns: run.reconfig_ns,
+        resumed_from: run.resumed_from,
+        total_ns_with_replay: run.total_ns_with_replay,
+        ok,
+        detail,
+    }
+}
+
+/// Sweeps cascading double-crash scenarios over every scheme.
+pub fn run_cascades() -> Vec<CascadeScenario> {
+    let mut rows = Vec::new();
+    for scheme in schemes() {
+        for (first, second) in [(1, 1), (3, 3)] {
+            rows.push(cascade_scenario(scheme, first, second));
+        }
+    }
+    rows
+}
+
+/// Renders the cascading-fault table and its verdict line.
+pub fn render_cascades(rows: &[CascadeScenario]) -> String {
+    let mut t = Table::new(&[
+        "scheme",
+        "faults@",
+        "attempts",
+        "widths",
+        "rebuilds",
+        "reconfig ns",
+        "resumed",
+        "total ns",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.scheme.clone(),
+            format!("{},{}", r.first_iter, r.second_iter),
+            r.attempts.to_string(),
+            if r.ok {
+                r.widths.clone()
+            } else {
+                format!("VIOLATION: {}", r.detail)
+            },
+            r.reconfigs.to_string(),
+            r.reconfig_ns.to_string(),
+            r.resumed_from.to_string(),
+            r.total_ns_with_replay.to_string(),
+        ]);
+    }
+    let bad = rows.iter().filter(|r| !r.ok).count();
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\n**Verdict:** {}/{} cascading scenarios composed repeated shrinks \
+         (armed faults fire on the shrunk pipeline; charges stay attributable).\n",
+        rows.len() - bad,
+        rows.len()
+    ));
+    out
+}
+
 /// Whether `rows` (one scheme's sweep) shows both regimes: at least one
 /// fault where waiting wins and one where shrinking wins.
 pub fn both_regimes(rows: &[Scenario]) -> bool {
@@ -524,6 +784,25 @@ mod tests {
             let mine: Vec<Scenario> = rows.iter().filter(|r| r.scheme == label).cloned().collect();
             assert!(both_regimes(&mine), "{label} never crossed: {mine:?}");
         }
+    }
+
+    #[test]
+    fn cascading_shrinks_compose_on_every_scheme() {
+        for scheme in schemes() {
+            let r = cascade_scenario(scheme, 1, 1);
+            assert!(r.ok, "{}: {}", r.scheme, r.detail);
+            assert_eq!(r.attempts, 3, "{}", r.scheme);
+            assert!(r.reconfigs >= 1, "{}: {}", r.scheme, r.widths);
+        }
+    }
+
+    #[test]
+    fn second_shrink_actually_happens_where_admissible() {
+        // 1F1B has no structural width constraint: 4→3→2.
+        let r = cascade_scenario(SchemeKind::OneFOneB, 1, 1);
+        assert!(r.ok, "{}", r.detail);
+        assert_eq!(r.widths, "4→3→2");
+        assert_eq!(r.reconfigs, 2);
     }
 
     #[test]

@@ -15,5 +15,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scale;
+pub mod serve;
 pub mod table1;
 pub mod table5;

@@ -61,6 +61,9 @@ fn measure(scheme: SchemeKind, devices: u32, micros: u32) -> Row {
         // Hanayo's [(D+1)/2, D]·M_θ expressed in per-chunk half-units
         // (each device holds two half-size wave stages): [D+1, 2D].
         SchemeKind::Wave { .. } => ((d + 1, 2 * d), 1),
+        // Forward-only serving never retains activations past the forward:
+        // peak is one transient micro-batch regardless of N or D.
+        SchemeKind::ForwardOnly => ((1, 1), 1),
     };
     Row {
         scheme: format!("{scheme:?}"),

@@ -233,6 +233,9 @@ pub struct DeviceCtx<'a> {
     /// state-redistribution cost of an elastic reconfiguration. The clock
     /// starts here and the charge lands in the `reconfig_ns` time class.
     pub startup_ns: Nanos,
+    /// Serving-mode hooks: per-micro ingress release gates and the
+    /// completion scoreboard (None on training runs).
+    pub serving: Option<crate::serving::ServingHooks<'a>>,
 }
 
 /// The per-device runtime state.
@@ -268,6 +271,8 @@ pub struct DeviceRuntime<'a> {
     link_sends: HashMap<DeviceId, LinkSendStats>,
     /// Recv-wait time per sending peer.
     link_recv_wait: HashMap<DeviceId, Nanos>,
+    /// Serving-mode release gates and completion scoreboard.
+    serving: Option<crate::serving::ServingHooks<'a>>,
 }
 
 impl<'a> DeviceRuntime<'a> {
@@ -322,6 +327,7 @@ impl<'a> DeviceRuntime<'a> {
             telemetry,
             link_sends: HashMap::new(),
             link_recv_wait: HashMap::new(),
+            serving: ctx.serving,
         }
     }
 
@@ -443,6 +449,20 @@ impl<'a> DeviceRuntime<'a> {
                 | InstrKind::BackwardInput
                 | InstrKind::BackwardWeight
                 | InstrKind::Recompute => {
+                    // Serving ingress gate: a first-stage forward may not
+                    // start before its micro-batch was released. The wait
+                    // is idle time exactly like a recv wait — checkpoint
+                    // chunks drain into it, the rest is recv-blocked.
+                    if let Some(sv) = self.serving {
+                        if matches!(instr.kind, InstrKind::Forward { .. })
+                            && sv.topo.is_first_stage(self.device, instr.part)
+                        {
+                            let gap = sv.release_of(instr.micro).saturating_sub(self.clock);
+                            let drained = self.drain_chunks(gap);
+                            self.telemetry.classes.on_recv_gap(gap, drained);
+                            self.clock += gap;
+                        }
+                    }
                     let mut dur = self.jittered(self.cost.duration(self.device, instr));
                     if faults_active {
                         let factor = self.faults.slow_factor(iter_idx, pc);
@@ -468,6 +488,15 @@ impl<'a> DeviceRuntime<'a> {
                     self.clock += dur;
                     self.telemetry.classes.compute_ns += dur;
                     self.apply_mem(pc, instr)?;
+                    // Serving egress: a last-stage forward completes its
+                    // micro-batch (observational write — never read here).
+                    if let Some(sv) = self.serving {
+                        if matches!(instr.kind, InstrKind::Forward { .. })
+                            && sv.topo.is_last_stage(self.device, instr.part)
+                        {
+                            sv.board.record(instr.micro, self.clock);
+                        }
+                    }
                 }
                 InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => {
                     let class = if matches!(instr.kind, InstrKind::SendAct { .. }) {

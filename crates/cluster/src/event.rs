@@ -153,6 +153,7 @@ struct EvDevice<'a> {
     telemetry: DeviceTelemetry,
     link_sends: HashMap<DeviceId, LinkSendStats>,
     link_recv_wait: HashMap<DeviceId, Nanos>,
+    serving: Option<crate::serving::ServingHooks<'a>>,
 }
 
 impl<'a> EvDevice<'a> {
@@ -163,6 +164,7 @@ impl<'a> EvDevice<'a> {
         cfg: &EmulatorConfig,
         faults: DeviceFaults,
         startup_ns: Nanos,
+        serving: Option<crate::serving::ServingHooks<'a>>,
     ) -> Self {
         // Identical straggler derivation to `DeviceRuntime::new`: a fixed
         // per-device slowdown in [1, 1+spread], derived from the seed.
@@ -205,6 +207,7 @@ impl<'a> EvDevice<'a> {
             telemetry,
             link_sends: HashMap::new(),
             link_recv_wait: HashMap::new(),
+            serving,
         }
     }
 
@@ -652,6 +655,19 @@ fn step(
             | InstrKind::BackwardInput
             | InstrKind::BackwardWeight
             | InstrKind::Recompute => {
+                // Serving ingress gate, arithmetic identical to the
+                // thread backend's: idle until the micro's release, with
+                // checkpoint chunks draining into the wait.
+                if let Some(sv) = dev.serving {
+                    if matches!(instr.kind, InstrKind::Forward { .. })
+                        && sv.topo.is_first_stage(dev.device, instr.part)
+                    {
+                        let gap = sv.release_of(instr.micro).saturating_sub(dev.clock);
+                        let drained = dev.drain_chunks(env, gap);
+                        dev.telemetry.classes.on_recv_gap(gap, drained);
+                        dev.clock += gap;
+                    }
+                }
                 let mut dur = dev.jittered(dev.cost.duration(dev.device, instr));
                 if faults_active {
                     let factor = dev.faults.slow_factor(dev.iteration, pc);
@@ -677,6 +693,14 @@ fn step(
                 dev.telemetry.classes.compute_ns += dur;
                 if let Err(e) = dev.apply_mem(env, pc, instr) {
                     return Stepped::Failed(e);
+                }
+                // Serving egress: a last-stage forward completes its micro.
+                if let Some(sv) = dev.serving {
+                    if matches!(instr.kind, InstrKind::Forward { .. })
+                        && sv.topo.is_last_stage(dev.device, instr.part)
+                    {
+                        sv.board.record(instr.micro, dev.clock);
+                    }
                 }
                 dev.record_event(instr, start);
                 dev.pc = pc + 1;
@@ -907,7 +931,22 @@ pub fn run_event_with_faults_startup(
     startup: &[Nanos],
 ) -> Result<RunReport, EmuError> {
     let order: Vec<u32> = (0..schedule.devices()).collect();
-    run_event_ordered(schedule, cost, cfg, plan, startup, &order)
+    run_event_inner(schedule, cost, cfg, plan, startup, &order, None)
+}
+
+/// One serving attempt on the event backend: the event-side twin of the
+/// thread path taken by [`crate::runner::run_serving`], with the serving
+/// hooks (ingress release gates, completion scoreboard) threaded into
+/// every device.
+pub fn run_event_serving(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    hooks: crate::serving::ServingHooks<'_>,
+) -> Result<RunReport, EmuError> {
+    let order: Vec<u32> = (0..schedule.devices()).collect();
+    run_event_inner(schedule, cost, cfg, plan, &[], &order, Some(hooks))
 }
 
 /// [`run_event_with_faults_startup`] with an explicit initial worklist
@@ -922,6 +961,18 @@ pub fn run_event_ordered(
     plan: &FaultPlan,
     startup: &[Nanos],
     order: &[u32],
+) -> Result<RunReport, EmuError> {
+    run_event_inner(schedule, cost, cfg, plan, startup, order, None)
+}
+
+fn run_event_inner(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    startup: &[Nanos],
+    order: &[u32],
+    serving: Option<crate::serving::ServingHooks<'_>>,
 ) -> Result<RunReport, EmuError> {
     let devices = schedule.devices() as usize;
     let mut seen = vec![false; devices];
@@ -981,6 +1032,7 @@ pub fn run_event_ordered(
                 &cfg,
                 plan.for_device(device),
                 startup.get(d).copied().unwrap_or(0),
+                serving,
             )
         })
         .collect();

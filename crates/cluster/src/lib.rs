@@ -33,13 +33,20 @@ pub mod event;
 pub mod faults;
 pub mod link;
 pub mod runner;
+pub mod serving;
 
 pub use device::{CkptBoard, DeviceReport, StallTable, TimelineEvent};
 pub use error::EmuError;
-pub use event::{run_event, run_event_with_faults, run_event_with_faults_startup};
+pub use event::{
+    run_event, run_event_serving, run_event_with_faults, run_event_with_faults_startup,
+};
 pub use faults::{FaultGroup, FaultKind, FaultPlan, FaultReport};
 pub use runner::{
-    effective_watchdog, run, run_with_elastic_recovery, run_with_faults, run_with_faults_startup,
-    run_with_recovery, ElasticRun, EmulatorBackend, EmulatorConfig, Reconfiguration,
-    ReconfigureEvent, RecoveredRun, RecoveryPolicy, RunReport,
+    effective_watchdog, run, run_serving, run_with_elastic_recovery, run_with_faults,
+    run_with_faults_startup, run_with_recovery, ElasticRun, EmulatorBackend, EmulatorConfig,
+    Reconfiguration, ReconfigureEvent, RecoveredRun, RecoveryPolicy, RunReport,
+};
+pub use serving::{
+    form_batches, poisson_arrivals, serve, serve_with, Batch, BatchPolicy, Request, RetryPolicy,
+    ServeBoard, ServeConfig, ServeOutcome, ServingHooks, ServingTelemetry,
 };

@@ -126,7 +126,7 @@ pub fn effective_watchdog(schedule: &Schedule, cfg: &EmulatorConfig) -> Duration
 }
 
 /// Results of an emulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunReport {
     /// Virtual duration of the whole run (max device clock), ns.
     pub total_ns: Nanos,
@@ -161,6 +161,10 @@ pub struct RunReport {
     /// telemetry on a zero-jitter run.
     #[serde(default)]
     pub telemetry: Telemetry,
+    /// Serving counters and latency digest, stamped by the serving loop
+    /// (`mario_cluster::serving::serve`); None on training runs.
+    #[serde(default)]
+    pub serving: Option<crate::serving::ServingTelemetry>,
 }
 
 impl RunReport {
@@ -221,6 +225,46 @@ pub fn run_with_faults_startup(
     if cfg.backend == EmulatorBackend::Event {
         return crate::event::run_event_with_faults_startup(schedule, cost, cfg, plan, startup);
     }
+    run_threaded(schedule, cost, cfg, plan, startup, None)
+}
+
+/// One serving attempt: [`run_with_faults`] with serving hooks active —
+/// each micro-batch's first-stage forward is gated at `release[micro]`
+/// (the ingress wait lands in the `recv_blocked_ns` class, like any other
+/// wait for upstream data) and the last stage records completion times on
+/// `board`. The board is observational, so a run with all-zero releases is
+/// bit-identical to the un-instrumented [`run_with_faults`]. Dispatches to
+/// whichever backend `cfg` selects.
+pub fn run_serving(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    release: &[Nanos],
+    board: &crate::serving::ServeBoard,
+) -> Result<RunReport, EmuError> {
+    let hooks = crate::serving::ServingHooks {
+        topo: schedule.topology,
+        release,
+        board,
+    };
+    if cfg.backend == EmulatorBackend::Event {
+        return crate::event::run_event_serving(schedule, cost, cfg, plan, hooks);
+    }
+    run_threaded(schedule, cost, cfg, plan, &[], Some(hooks))
+}
+
+/// The thread backend's worker: spawns one OS thread per device and
+/// merges the reports. `serving` threads the serving hooks into every
+/// device runtime (None on training runs).
+fn run_threaded(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    cfg: EmulatorConfig,
+    plan: &FaultPlan,
+    startup: &[Nanos],
+    serving: Option<crate::serving::ServingHooks<'_>>,
+) -> Result<RunReport, EmuError> {
     let devices = schedule.devices() as usize;
     let rules = mario_ir::MemoryRules::new(schedule);
     let watchdog = effective_watchdog(schedule, &cfg);
@@ -292,6 +336,7 @@ pub fn run_with_faults_startup(
                             checkpoint: cfg.checkpoint,
                             ckpts,
                             startup_ns: startup.get(d).copied().unwrap_or(0),
+                            serving,
                         },
                         out,
                         inp,
@@ -462,6 +507,7 @@ pub(crate) fn settle_report(
         last_checkpoint: cfg.checkpoint.map(|_| ckpts.cluster_saved()),
         ckpt_overhead_ns: ckpts.total_paid(),
         telemetry,
+        serving: None,
     })
 }
 
@@ -925,6 +971,7 @@ mod tests {
             last_checkpoint: None,
             ckpt_overhead_ns: 0,
             telemetry: Telemetry::default(),
+            serving: None,
         };
         assert!((r.throughput(128) - 64.0).abs() < 1e-9);
         assert_eq!(r.max_peak_mem(), 30);

@@ -195,7 +195,10 @@ fn admissible_width(setup: &ElasticSetup, width: u32) -> bool {
                 return false;
             }
         }
-        SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::Wave { .. } => {}
+        SchemeKind::GPipe
+        | SchemeKind::OneFOneB
+        | SchemeKind::ForwardOnly
+        | SchemeKind::Wave { .. } => {}
     }
     setup.layers >= Topology::new(setup.scheme, width).num_stages()
 }

@@ -23,6 +23,7 @@
 pub mod api;
 pub mod elastic;
 pub mod passes;
+pub mod serving;
 pub mod simulator;
 pub mod trace;
 pub mod tuner;
@@ -36,10 +37,12 @@ pub use passes::{
     apply_checkpoint, overlap_recompute, prepose_forward, remove_redundancy, run_graph_tuner,
     split_backward, GraphTunerOptions, PassStats, PreposeOptions, SplitOptions,
 };
+pub use serving::simulate_serving;
 pub use simulator::{
     memory_series, simulate, simulate_memory, simulate_timeline, simulate_timeline_ckpt,
-    simulate_timeline_iters, simulate_timeline_startup, simulate_timeline_with, MemReport,
-    MemSeries, SimError, SimEvent, SimOptions, SimReport, SimTimeline,
+    simulate_timeline_iters, simulate_timeline_serving, simulate_timeline_startup,
+    simulate_timeline_with, MemReport, MemSeries, SimError, SimEvent, SimOptions, SimReport,
+    SimTimeline,
 };
 pub use trace::{
     emu_to_chrome_trace, emu_to_chrome_trace_rich, rich_chrome_trace, sim_to_chrome_trace,

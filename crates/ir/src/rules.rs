@@ -28,6 +28,11 @@ pub struct MemoryRules {
     /// `(device, micro, part)` triples whose forward output crosses to a
     /// different device (and therefore needs a send buffer).
     crossing: HashSet<(u32, u32, u32)>,
+    /// Forward-only (serving) lifecycle: no backward ever comes, so the
+    /// full activations are released as soon as the forward completes and
+    /// only the crossing send buffer outlives the instruction. Memory
+    /// stays bounded at any request count.
+    forward_only: bool,
 }
 
 impl MemoryRules {
@@ -44,7 +49,14 @@ impl MemoryRules {
                 }
             }
         }
-        Self { crossing }
+        let forward_only = matches!(
+            schedule.topology.scheme,
+            crate::topology::SchemeKind::ForwardOnly
+        );
+        Self {
+            crossing,
+            forward_only,
+        }
     }
 
     /// True if the forward of `(micro, part)` on `device` sends its output
@@ -67,6 +79,17 @@ impl MemoryRules {
         let p = instr.part;
         match instr.kind {
             InstrKind::Forward { ckpt } => {
+                if self.forward_only {
+                    // Inference: the activations live only for the duration
+                    // of the forward itself (they peak against capacity),
+                    // then everything but the boundary output is dropped.
+                    ledger.alloc(AllocKey::Act(m, p), cost.act_full(device, p))?;
+                    if self.crosses(device, instr) {
+                        ledger.alloc(AllocKey::OutBuf(m, p), cost.boundary_bytes(device, p))?;
+                    }
+                    ledger.free_if_live(AllocKey::Act(m, p));
+                    return Ok(());
+                }
                 if ckpt {
                     ledger.alloc(AllocKey::Ckpt(m, p), cost.act_ckpt(device, p))?;
                 } else {

@@ -46,6 +46,7 @@ fn scheme_token(s: SchemeKind) -> String {
         SchemeKind::Chimera => "X".into(),
         SchemeKind::Interleave { chunks } => format!("W:{chunks}"),
         SchemeKind::Wave { chunks } => format!("H:{chunks}"),
+        SchemeKind::ForwardOnly => "F".into(),
     }
 }
 
@@ -54,6 +55,7 @@ fn parse_scheme(tok: &str) -> Option<SchemeKind> {
         "G" => Some(SchemeKind::GPipe),
         "V" => Some(SchemeKind::OneFOneB),
         "X" => Some(SchemeKind::Chimera),
+        "F" => Some(SchemeKind::ForwardOnly),
         _ => {
             let (letter, chunks) = tok.split_once(':')?;
             let chunks: u32 = chunks.parse().ok()?;

@@ -37,6 +37,10 @@ pub enum SchemeKind {
         /// Number of waves (chunks) per device.
         chunks: u32,
     },
+    /// Fill-drain forward-only chain (inference/serving): one stage per
+    /// device, micro-batches flow 0→D−1 and are done — no backward pass,
+    /// no optimizer step. Bubble fraction is the classic `(p−1)/(m+p−1)`.
+    ForwardOnly,
 }
 
 impl SchemeKind {
@@ -48,13 +52,14 @@ impl SchemeKind {
             SchemeKind::Chimera => "X",
             SchemeKind::Interleave { .. } => "W",
             SchemeKind::Wave { .. } => "H",
+            SchemeKind::ForwardOnly => "F",
         }
     }
 
     /// How many partitions (stages) each device holds under this scheme.
     pub fn parts_per_device(&self) -> u32 {
         match *self {
-            SchemeKind::GPipe | SchemeKind::OneFOneB => 1,
+            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => 1,
             SchemeKind::Chimera => 2,
             SchemeKind::Interleave { chunks } | SchemeKind::Wave { chunks } => chunks,
         }
@@ -115,7 +120,10 @@ impl Topology {
     #[inline]
     pub fn num_stages(&self) -> u32 {
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::Chimera => self.devices,
+            SchemeKind::GPipe
+            | SchemeKind::OneFOneB
+            | SchemeKind::ForwardOnly
+            | SchemeKind::Chimera => self.devices,
             SchemeKind::Interleave { chunks } | SchemeKind::Wave { chunks } => {
                 self.devices * chunks
             }
@@ -144,7 +152,7 @@ impl Topology {
             self.scheme
         );
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB => StageId(d),
+            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => StageId(d),
             SchemeKind::Chimera => {
                 if p == 0 {
                     StageId(d)
@@ -168,7 +176,7 @@ impl Topology {
     pub fn forward_path(&self, route: u32) -> Vec<(DeviceId, PartId)> {
         let dd = self.devices;
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB => {
+            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => {
                 (0..dd).map(|d| (DeviceId(d), PartId(0))).collect()
             }
             SchemeKind::Chimera => {
@@ -205,7 +213,7 @@ impl Topology {
         let p = part.0;
         let dd = self.devices;
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB => {
+            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => {
                 (d + 1 < dd).then(|| (DeviceId(d + 1), PartId(0)))
             }
             SchemeKind::Chimera => {
@@ -250,7 +258,9 @@ impl Topology {
         let p = part.0;
         let dd = self.devices;
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB => (d > 0).then(|| (DeviceId(d - 1), PartId(0))),
+            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => {
+                (d > 0).then(|| (DeviceId(d - 1), PartId(0)))
+            }
             SchemeKind::Chimera => {
                 if p == 0 {
                     (d > 0).then(|| (DeviceId(d - 1), PartId(0)))

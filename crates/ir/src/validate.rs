@@ -156,6 +156,13 @@ pub fn validate_with(
         .iter()
         .any(|p| p.count(|i| i.kind.is_p2p()) > 0);
     let check_comm = opts.check_comm && has_comm;
+    // Forward-only (serving) schedules invert the backward requirements:
+    // no backward/recompute/gradient instruction may appear at all, and
+    // only the activation half of the comm pairing applies.
+    let forward_only = matches!(
+        schedule.topology.scheme,
+        crate::topology::SchemeKind::ForwardOnly
+    );
 
     // -- Per (micro, hop) compute + communication requirements ------------
     for m in 0..schedule.micros {
@@ -164,6 +171,10 @@ pub fn validate_with(
         for (hop_idx, &(dev, part)) in path.iter().enumerate() {
             let prog = schedule.program(dev);
             check_unique(&mut errors, prog, dev, InstrTag::Forward, micro, part);
+            if forward_only {
+                check_forward_only_hop(&mut errors, schedule, micro, &path, hop_idx, check_comm);
+                continue;
+            }
             // Exactly one full backward XOR a split (Bi + Bw) pair.
             let n_b = count_tag(prog, InstrTag::Backward, micro, part);
             let n_bi = count_tag(prog, InstrTag::BackwardInput, micro, part);
@@ -263,7 +274,7 @@ pub fn validate_with(
                         dev,
                         part,
                         fw,
-                        bw,
+                        Some(bw),
                     );
                 }
             }
@@ -273,6 +284,23 @@ pub fn validate_with(
     // -- No stray compute on devices off the route (or out-of-range) -------
     for prog in schedule.programs() {
         for (_, i) in prog.iter() {
+            if forward_only
+                && matches!(
+                    i.kind.tag(),
+                    InstrTag::Backward
+                        | InstrTag::BackwardInput
+                        | InstrTag::BackwardWeight
+                        | InstrTag::Recompute
+                        | InstrTag::SendGrad
+                        | InstrTag::RecvGrad
+                )
+            {
+                errors.push(ValidationError::Misplaced {
+                    device: prog.device,
+                    instr: format!("{i} (backward-pass instruction in a forward-only schedule)"),
+                });
+                continue;
+            }
             if i.kind.is_compute() {
                 if i.micro.0 >= schedule.micros {
                     errors.push(ValidationError::Misplaced {
@@ -360,6 +388,36 @@ fn check_unique(
     }
 }
 
+/// The forward-only half of the per-hop requirements: the forward exists
+/// (checked by the caller), must not be checkpointed (there is no backward
+/// to recompute for), must not have a recompute, and — when comm is
+/// checked — carries only the activation half of the hop pairing.
+fn check_forward_only_hop(
+    errors: &mut Vec<ValidationError>,
+    schedule: &Schedule,
+    micro: MicroId,
+    path: &[(DeviceId, PartId)],
+    hop_idx: usize,
+    check_comm: bool,
+) {
+    let (dev, part) = path[hop_idx];
+    let prog = schedule.program(dev);
+    let Some(fw) = prog.forward_pos(micro, part) else {
+        return; // the Missing error is already recorded
+    };
+    if prog.instrs()[fw].is_ckpt_forward() {
+        errors.push(ValidationError::CheckpointMismatch {
+            device: dev,
+            micro,
+            part,
+            what: "checkpointed forward in a forward-only schedule".into(),
+        });
+    }
+    if check_comm {
+        check_hop_comm(errors, schedule, micro, path, hop_idx, dev, part, fw, None);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn check_hop_comm(
     errors: &mut Vec<ValidationError>,
@@ -370,7 +428,7 @@ fn check_hop_comm(
     dev: DeviceId,
     part: PartId,
     fw: usize,
-    bw: usize,
+    bw: Option<usize>,
 ) {
     let prog = schedule.program(dev);
     let m = micro;
@@ -441,6 +499,8 @@ fn check_hop_comm(
 
     // Backward-direction gradient: this hop's backward sends to the
     // previous hop (if any, on a different device); symmetric tagging.
+    // Forward-only schedules have no backward (`bw` is None) and skip it.
+    let Some(bw) = bw else { return };
     if hop_idx > 0 {
         let (prev_dev, prev_part) = path[hop_idx - 1];
         if prev_dev != dev {

@@ -1,0 +1,40 @@
+//! Fill-drain forward-only schedule (torchgpipe-style inference): every
+//! micro-batch flows through the chain once and is done. No backward pass,
+//! no optimizer step; stage 0 receives nothing, the last stage sends
+//! nothing. With `p` devices and `m` micro-batches the bubble fraction is
+//! the classic `(p-1)/(m+p-1)` — each device is idle exactly during the
+//! fill and drain ramps.
+
+use mario_ir::{DeviceId, Instr, Schedule, SchemeKind, Topology};
+
+/// Generates the compute-only fill-drain schedule for `devices` devices
+/// and `micros` micro-batches (requests flow in micro-id order).
+pub fn generate_compute(devices: u32, micros: u32) -> Schedule {
+    let topo = Topology::new(SchemeKind::ForwardOnly, devices);
+    let mut s = Schedule::empty(topo, micros, vec![0; micros as usize]);
+    for d in 0..devices {
+        let prog = s.program_mut(DeviceId(d));
+        for m in 0..micros {
+            prog.push(Instr::forward(m, 0u32));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mario_ir::validate;
+
+    #[test]
+    fn forward_only_is_valid() {
+        let s = generate_compute(4, 8);
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn instruction_counts() {
+        let s = generate_compute(3, 5);
+        assert_eq!(s.total_instrs(), 3 * 5);
+    }
+}

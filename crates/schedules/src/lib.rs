@@ -18,6 +18,7 @@
 pub mod builder;
 pub mod chimera;
 pub mod engine;
+pub mod forward_only;
 pub mod gpipe;
 pub mod interleave;
 pub mod one_f_one_b;

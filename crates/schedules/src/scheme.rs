@@ -54,6 +54,7 @@ pub fn generate_compute(scheme: SchemeKind, devices: u32, micros: u32) -> Schedu
             crate::interleave::generate_compute(devices, micros, chunks)
         }
         SchemeKind::Wave { chunks } => crate::wave::generate_compute(devices, micros, chunks),
+        SchemeKind::ForwardOnly => crate::forward_only::generate_compute(devices, micros),
     }
 }
 
@@ -61,11 +62,14 @@ pub fn generate_compute(scheme: SchemeKind, devices: u32, micros: u32) -> Schedu
 pub fn generate(cfg: ScheduleConfig) -> Schedule {
     let compute = generate_compute(cfg.scheme, cfg.devices, cfg.micros);
     if cfg.with_comm {
+        // Inference pipelines run no optimizer step (and never all-reduce:
+        // there are no gradients to average).
+        let forward_only = matches!(cfg.scheme, SchemeKind::ForwardOnly);
         insert_comm(
             &compute,
             CommOptions {
-                allreduce: cfg.with_allreduce,
-                optimizer_step: true,
+                allreduce: cfg.with_allreduce && !forward_only,
+                optimizer_step: !forward_only,
             },
         )
     } else {
@@ -85,6 +89,7 @@ mod tests {
             SchemeKind::Chimera,
             SchemeKind::Interleave { chunks: 2 },
             SchemeKind::Wave { chunks: 2 },
+            SchemeKind::ForwardOnly,
         ]
         .into_iter()
         .filter(|s| !matches!(s, SchemeKind::Chimera) || devices.is_multiple_of(2))
@@ -112,6 +117,28 @@ mod tests {
     fn compute_only_generation_skips_comm() {
         let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 4, 8).comm(false));
         assert_eq!(s.count_tag(mario_ir::InstrTag::SendAct), 0);
+        validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn forward_only_emits_no_backward_pass_artifacts() {
+        let s = generate(ScheduleConfig::new(SchemeKind::ForwardOnly, 4, 8).allreduce(true));
+        assert_eq!(s.count_tag(mario_ir::InstrTag::Backward), 0);
+        assert_eq!(s.count_tag(mario_ir::InstrTag::SendGrad), 0);
+        assert_eq!(s.count_tag(mario_ir::InstrTag::RecvGrad), 0);
+        assert_eq!(s.count_tag(mario_ir::InstrTag::AllReduce), 0);
+        assert_eq!(s.count_tag(mario_ir::InstrTag::OptimizerStep), 0);
+        // Stage 0 receives nothing; the last stage sends nothing.
+        assert_eq!(
+            s.program(mario_ir::DeviceId(0))
+                .count(|i| matches!(i.kind, mario_ir::InstrKind::RecvAct { .. })),
+            0
+        );
+        assert_eq!(
+            s.program(mario_ir::DeviceId(3))
+                .count(|i| matches!(i.kind, mario_ir::InstrKind::SendAct { .. })),
+            0
+        );
         validate(&s).unwrap_or_else(|e| panic!("{e:?}"));
     }
 

@@ -51,6 +51,7 @@ fn parse_scheme(tok: &str) -> Option<SchemeKind> {
         "G" => Some(SchemeKind::GPipe),
         "V" => Some(SchemeKind::OneFOneB),
         "X" => Some(SchemeKind::Chimera),
+        "F" => Some(SchemeKind::ForwardOnly),
         _ => {
             let (l, c) = tok.split_once(':')?;
             let chunks = c.parse().ok()?;

@@ -922,3 +922,256 @@ proptest! {
         }
     }
 }
+
+// Serving mode: forward-only fill–drain pipelines under open-loop load.
+// Structural validity, the closed-form makespan, three-way parity of the
+// whole serving loop, and sentinel-drained crash recovery.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Forward-only schedules validate at capacity 1 and execute
+    /// deadlock-free under both backends' blocking p2p, landing exactly
+    /// on the fill–drain closed form `(m+p-1)·F`.
+    #[test]
+    fn forward_only_schedules_validate_and_execute(p in 2u32..=8, m in 1u32..=12) {
+        let s = generate(ScheduleConfig::new(SchemeKind::ForwardOnly, p, m));
+        prop_assert!(validate(&s).is_ok());
+        let cost = UnitCost::paper_grid();
+        let cfg = EmulatorConfig {
+            watchdog: std::time::Duration::from_secs(5),
+            ..Default::default()
+        };
+        let emu = mario::cluster::run(&s, &cost, cfg).unwrap();
+        let ev = mario::cluster::run(
+            &s,
+            &cost,
+            EmulatorConfig {
+                backend: EmulatorBackend::Event,
+                ..cfg
+            },
+        )
+        .unwrap();
+        let expect = (m as u64 + p as u64 - 1) * 1_000;
+        prop_assert_eq!(emu.total_ns, expect, "thread makespan off at p={} m={}", p, m);
+        prop_assert_eq!(ev.total_ns, expect, "event makespan off at p={} m={}", p, m);
+        prop_assert_eq!(&ev.device_clocks, &emu.device_clocks);
+    }
+}
+
+// The whole serving loop — Poisson arrivals, greedy batching, release
+// gating, deadline accounting, the latency digest — agrees bit-for-bit
+// between the DP simulator, the thread emulator and the event executor,
+// pristine or under seeded absorbable degradation (the emulators run the
+// fault plan itself, the simulator runs the derived perturbation
+// profile), across pipeline depths and batching policies.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn serving_three_way_parity(
+        p in 2u32..=6,
+        count in 1u32..=14,
+        trace_seed in 0u64..512,
+        max_batch in 1u32..=4,
+        wait_sel in 0usize..3,
+        fault_sel in 0u64..1024,
+    ) {
+        use mario::cluster::{
+            form_batches, poisson_arrivals, serve, BatchPolicy, FaultPlan, RetryPolicy,
+            ServeConfig,
+        };
+
+        let cost = UnitCost::paper_grid();
+        let requests = poisson_arrivals(trace_seed, count, 1_500, 40_000);
+        let batch = BatchPolicy {
+            max_batch,
+            max_wait_ns: [0, 700, 2_500][wait_sel],
+        };
+        let build =
+            move |micros: u32| generate(ScheduleConfig::new(SchemeKind::ForwardOnly, p, micros));
+        // Absorbable faults are drawn against the first (and, with no
+        // failures, only) attempt's schedule.
+        let first = build(form_batches(&requests, batch).len() as u32);
+        // One case in four serves a pristine cluster; the rest draw a
+        // seeded absorbable fault (straggler or slow link).
+        let plan = if fault_sel % 4 == 0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::single_absorbable(fault_sel, &first)
+        };
+        prop_assert!(plan.is_absorbable());
+        let cfg = ServeConfig {
+            batch,
+            retry: RetryPolicy::default(),
+            ..Default::default()
+        };
+        let th = serve(build, &cost, &cfg, &plan, &requests).unwrap();
+        let ev = serve(
+            build,
+            &cost,
+            &ServeConfig {
+                emulator: EmulatorConfig {
+                    backend: EmulatorBackend::Event,
+                    ..cfg.emulator
+                },
+                ..cfg
+            },
+            &plan,
+            &requests,
+        )
+        .unwrap();
+        let sim = mario::core::simulate_serving(
+            build,
+            &cost,
+            1,
+            &plan.perturbation_profile(),
+            batch,
+            RetryPolicy::default(),
+            &requests,
+        )
+        .unwrap();
+
+        // Absorbable degradation never costs an attempt, and every
+        // request completes.
+        prop_assert!(th.fault_log.is_empty());
+        prop_assert!(th.completions.iter().all(|c| c.is_some()));
+        prop_assert_eq!(&th.completions, &ev.completions,
+            "event serve diverged at p={} count={} batch={:?} fault={:?}",
+            p, count, batch, plan.faults);
+        prop_assert_eq!(&th.completions, &sim.completions,
+            "simulated serve diverged at p={} count={} batch={:?} fault={:?}",
+            p, count, batch, plan.faults);
+        prop_assert_eq!(&th.serving, &ev.serving);
+        prop_assert_eq!(&th.serving, &sim.serving);
+        let (tr, er, sr) = (
+            th.report.unwrap(),
+            ev.report.unwrap(),
+            sim.report.unwrap(),
+        );
+        prop_assert_eq!(&tr.device_clocks, &er.device_clocks);
+        prop_assert_eq!(&tr.device_clocks, &sr.device_clocks);
+    }
+}
+
+// Error-sentinel recovery: an injected mid-serve crash drains the pipe
+// with no deadlock on both emulator backends, both attribute the failure
+// to the same fault at the same virtual time, and the stranded requests
+// are retried to completion within policy with identical completion
+// times and digests.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn crash_sentinel_serving_matches_across_backends(
+        p in 2u32..=6,
+        count in 2u32..=12,
+        trace_seed in 0u64..256,
+        site in 0u32..4096,
+    ) {
+        use mario::cluster::{
+            form_batches, poisson_arrivals, serve, BatchPolicy, FaultKind, FaultPlan,
+            RetryPolicy, ServeConfig,
+        };
+
+        let cost = UnitCost::paper_grid();
+        let requests = poisson_arrivals(trace_seed, count, 1_500, 60_000);
+        let batch = BatchPolicy::default();
+        let build =
+            move |micros: u32| generate(ScheduleConfig::new(SchemeKind::ForwardOnly, p, micros));
+        let first = build(form_batches(&requests, batch).len() as u32);
+        let device = DeviceId(site % p);
+        let len = first.programs()[device.index()].len() as u32;
+        prop_assume!(len > 0);
+        let plan = FaultPlan::none().with(FaultKind::Crash {
+            device,
+            pc: ((site * 7) % len) as usize,
+        });
+        let retry = RetryPolicy {
+            max_retries: 3,
+            backoff_ns: 1_000,
+            drop_missed: false,
+        };
+        let cfg = ServeConfig {
+            emulator: EmulatorConfig {
+                watchdog: std::time::Duration::from_millis(300),
+                ..Default::default()
+            },
+            batch,
+            retry,
+        };
+        let th = serve(build, &cost, &cfg, &plan, &requests).unwrap();
+        let ev = serve(
+            build,
+            &cost,
+            &ServeConfig {
+                emulator: EmulatorConfig {
+                    backend: EmulatorBackend::Event,
+                    ..cfg.emulator
+                },
+                ..cfg
+            },
+            &plan,
+            &requests,
+        )
+        .unwrap();
+
+        prop_assert!(!th.fault_log.is_empty(),
+            "crash at pc {} on {:?} never fired (p={} count={})",
+            ((site * 7) % len) as usize, device, p, count);
+        prop_assert_eq!(&th.fault_log, &ev.fault_log,
+            "fault attribution diverged at p={} count={} site={}", p, count, site);
+        prop_assert!(th.completions.iter().all(|c| c.is_some()),
+            "stranded request not retried to completion at p={} count={} site={}",
+            p, count, site);
+        prop_assert_eq!(&th.completions, &ev.completions,
+            "post-recovery completions diverged at p={} count={} site={}", p, count, site);
+        prop_assert_eq!(&th.serving, &ev.serving);
+        prop_assert_eq!(th.serving.completed, count);
+        prop_assert!(th.serving.attempts <= 1 + retry.max_retries);
+    }
+}
+
+// The closed-form bubble fraction (p-1)/(m+p-1) of the fill–drain
+// schedule, pinned in integer arithmetic through the full serving path
+// (mirrors `scale`'s 1F1B closed-form gate): m single-request batches
+// all released at t = 0 make the makespan exactly (m+p-1)·F.
+#[test]
+fn forward_only_bubble_fraction_closed_form() {
+    use mario::cluster::{serve, BatchPolicy, FaultPlan, Request, RetryPolicy, ServeConfig};
+
+    for (p, m) in [(2u32, 4u64), (4, 8), (6, 3)] {
+        let requests: Vec<Request> = (0..m)
+            .map(|i| Request {
+                id: i as u32,
+                arrival_ns: 0,
+                deadline_ns: 1_000_000,
+            })
+            .collect();
+        let cfg = ServeConfig {
+            batch: BatchPolicy {
+                max_batch: 1,
+                max_wait_ns: 0,
+            },
+            retry: RetryPolicy::default(),
+            ..Default::default()
+        };
+        let out = serve(
+            move |micros| generate(ScheduleConfig::new(SchemeKind::ForwardOnly, p, micros)),
+            &UnitCost::paper_grid(),
+            &cfg,
+            &FaultPlan::none(),
+            &requests,
+        )
+        .unwrap();
+        assert_eq!(out.serving.completed as u64, m);
+        let total = out.serving.makespan_ns;
+        assert_eq!(total, (m + p as u64 - 1) * 1_000, "p={p} m={m}");
+        // Bubble fraction check, cross-multiplied to stay in integers:
+        // (total − m·F) / total == (p−1) / (m+p−1).
+        assert_eq!(
+            (total - m * 1_000) * (m + p as u64 - 1),
+            (p as u64 - 1) * total,
+            "p={p} m={m}"
+        );
+    }
+}
