@@ -1,0 +1,60 @@
+//! Zero-bubble headline bench: the unit-grid closed-form gate
+//! (1F1B = (3m+3(p−1))t, ZB-H1 = (3m+2(p−1))t, strict bubble inequality,
+//! all integer arithmetic) plus the analytic 1F1B / ZB-H1 / ZB-V sweep on
+//! GPT3-1.6B. Exits non-zero if any closed form is violated or if ZB-H1's
+//! measured bubble ratio is not strictly below 1F1B's. Pass `--smoke` for
+//! the trimmed CI run and `--json` for `results/zb.json`.
+fn main() {
+    use mario_bench::experiments::zb;
+    use mario_bench::{summary, JsonObj, RunSummary};
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let gate = zb::closed_form();
+    println!("{}", zb::render_closed_form(&gate));
+    let rows = zb::run(smoke);
+    println!("{}", zb::render(&rows));
+
+    let v = rows.iter().find(|r| r.scheme == "OneFOneB");
+    let z = rows.iter().find(|r| r.scheme == "ZeroBubbleH1");
+    let analytic_ok = match (v, z) {
+        (Some(v), Some(z)) => z.bubble_ratio < v.bubble_ratio && z.throughput > v.throughput,
+        _ => false,
+    };
+    if summary::json_requested() {
+        let mut s = RunSummary::new("zb")
+            .metric("closed_form_ok", gate.iter().filter(|r| r.ok).count() as f64)
+            .metric("closed_form_total", gate.len() as f64)
+            .metric("analytic_ok", if analytic_ok { 1.0 } else { 0.0 });
+        for r in &gate {
+            s.push_row(
+                JsonObj::new()
+                    .str("kind", "closed_form")
+                    .int("p", r.p)
+                    .int("m", r.m)
+                    .int("v_ns", r.v_ns)
+                    .int("v_expect_ns", r.v_expect_ns)
+                    .int("zb_ns", r.zb_ns)
+                    .int("zb_expect_ns", r.zb_expect_ns)
+                    .num("v_bubble", r.v_bubble)
+                    .num("zb_bubble", r.zb_bubble)
+                    .bool("ok", r.ok),
+            );
+        }
+        for r in &rows {
+            s.push_row(
+                JsonObj::new()
+                    .str("kind", "analytic")
+                    .str("scheme", &r.scheme)
+                    .int("iter_ns", r.iter_ns)
+                    .num("throughput", r.throughput)
+                    .num("bubble_ratio", r.bubble_ratio)
+                    .int("peak_min", r.peak_mem.0)
+                    .int("peak_max", r.peak_mem.1),
+            );
+        }
+        summary::emit(&s);
+    }
+    if gate.iter().any(|r| !r.ok) || !analytic_ok {
+        std::process::exit(1);
+    }
+}

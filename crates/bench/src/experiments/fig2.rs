@@ -138,4 +138,90 @@ mod tests {
             assert!(w[1].measured_t < w[0].measured_t);
         }
     }
+
+    #[test]
+    fn zb_candidates_in_the_tuner_do_not_perturb_the_fig2_pin() {
+        // Enumerating zero-bubble candidates runs the full pass pipeline
+        // over ZB schedules (split backwards included). That must be a
+        // read-only affair for everyone else. The scenario: a memory
+        // budget of *exactly* the tuned 1F1B peak. ZB-H1's peak sits
+        // strictly above it (the deferred weight half stashes its layer
+        // inputs — the one place its memory profile differs from 1F1B's),
+        // and ZB-V's reflected chunk is far above it, so the ZB configs
+        // that would win all OOM: present on the curve, never selected
+        // (smaller ZB configs still fit but lose on throughput). The
+        // Fig. 2 sequence, which exercises the same passes on a plain
+        // 1F1B pipeline, must stay pinned.
+        use mario_core::tuner::{evaluate, tune, Candidate, SchemeChoice, TunerConfig};
+        use mario_model::{GpuSpec, ModelConfig};
+
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        let roomy = TunerConfig {
+            mbs_options: vec![1, 2],
+            min_pp: 8,
+            prepose: false,
+            ..TunerConfig::new(8, 32, 40 * (1 << 30))
+        };
+        // Calibrate: the winning classic candidate's exact peak bytes.
+        let v_peak = evaluate(
+            &model,
+            &gpu,
+            &roomy,
+            Candidate {
+                scheme: SchemeKind::OneFOneB,
+                pp: 8,
+                dp: 1,
+                mbs: 2,
+                mario: true,
+            },
+        )
+        .unwrap()
+        .peak_mem
+        .1;
+
+        let cfg = TunerConfig {
+            scheme_choice: SchemeChoice::Fixed(vec![
+                SchemeKind::OneFOneB,
+                SchemeKind::ZeroBubbleH1,
+                SchemeKind::ZeroBubbleV,
+            ]),
+            mem_capacity: v_peak,
+            ..roomy
+        };
+        let r = tune(&model, &gpu, &cfg).unwrap();
+        let zb_evals: Vec<_> = r
+            .curve
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.candidate.scheme,
+                    SchemeKind::ZeroBubbleH1 | SchemeKind::ZeroBubbleV
+                )
+            })
+            .collect();
+        assert!(!zb_evals.is_empty(), "ZB kinds must be on the search curve");
+        // The head-to-head ZB-H1 config (same pp/mbs as the winner) is
+        // priced out by exactly its wgrad stash.
+        let head_to_head = zb_evals.iter().find(|e| {
+            e.candidate.scheme == SchemeKind::ZeroBubbleH1
+                && e.candidate.mbs == r.best.candidate.mbs
+                && e.candidate.mario
+        });
+        assert!(
+            head_to_head.is_some_and(|e| e.oom),
+            "ZB-H1 at the winner's config should OOM at the 1F1B peak budget"
+        );
+        assert!(
+            !matches!(
+                r.best.candidate.scheme,
+                SchemeKind::ZeroBubbleH1 | SchemeKind::ZeroBubbleV
+            ),
+            "scenario expects ZB to lose here, got {}",
+            r.best.candidate
+        );
+
+        let measured: Vec<u64> = run().iter().map(|s| s.measured_t).collect();
+        assert_eq!(measured, vec![21, 28, 25, 23, 22]);
+    }
 }

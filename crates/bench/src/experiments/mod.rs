@@ -18,3 +18,4 @@ pub mod scale;
 pub mod serve;
 pub mod table1;
 pub mod table5;
+pub mod zb;

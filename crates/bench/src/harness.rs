@@ -181,7 +181,7 @@ impl ConfigResult {
 /// eager/batched p2p, which our depth-2 buffer models).
 pub fn channel_capacity(scheme: SchemeKind) -> usize {
     match scheme {
-        SchemeKind::Wave { .. } | SchemeKind::Chimera => 2,
+        SchemeKind::Wave { .. } | SchemeKind::Chimera | SchemeKind::ZeroBubbleV => 2,
         _ => 1,
     }
 }

@@ -198,6 +198,8 @@ fn admissible_width(setup: &ElasticSetup, width: u32) -> bool {
         SchemeKind::GPipe
         | SchemeKind::OneFOneB
         | SchemeKind::ForwardOnly
+        | SchemeKind::ZeroBubbleH1
+        | SchemeKind::ZeroBubbleV
         | SchemeKind::Wave { .. } => {}
     }
     setup.layers >= Topology::new(setup.scheme, width).num_stages()

@@ -72,7 +72,12 @@ fn parse_groups(prog: &DeviceProgram) -> Vec<Group> {
             let kind = match instrs[i].kind {
                 InstrKind::Forward { ckpt: true } => GroupKind::CkptForward,
                 InstrKind::Forward { ckpt: false } => GroupKind::PlainForward,
-                InstrKind::Backward => GroupKind::Backward,
+                // Split halves group like the full backward: either may
+                // legally swap with a checkpointed forward (the simulator
+                // guard rejects harmful swaps anyway).
+                InstrKind::Backward
+                | InstrKind::BackwardInput
+                | InstrKind::BackwardWeight => GroupKind::Backward,
                 InstrKind::Recompute => GroupKind::Recompute,
                 _ => unreachable!(),
             };

@@ -62,10 +62,19 @@ pub fn split_backward(schedule: &mut Schedule, opts: SplitOptions) -> usize {
             if deferred < opts.max_deferred {
                 let mut probe = slot;
                 while probe < prog.len() {
-                    let k = &prog.instrs()[probe].kind;
+                    let instr = &prog.instrs()[probe];
+                    let k = &instr.kind;
                     if k.is_recv() {
-                        slot = probe;
-                        deferred += 1;
+                        // Only a receive of the *same* part is a legal wait
+                        // slot: floating past another chunk's receive would
+                        // reorder `Bw` against that part's per-(pair, class,
+                        // part) FIFO traffic on interleaved/bidirectional
+                        // schedules. A different-part receive ends the float
+                        // window — fall back to right after `Bi`.
+                        if instr.part == p {
+                            slot = probe;
+                            deferred += 1;
+                        }
                         break;
                     }
                     if matches!(k, InstrKind::AllReduce | InstrKind::OptimizerStep) {
@@ -170,6 +179,64 @@ mod tests {
         // the bounded deferrals).
         let peaks = simulate_memory(&s, &cost, None).peak;
         assert!(peaks.iter().all(|&p| p <= 4), "{peaks:?}");
+    }
+
+    /// Regression (interleaved deferral): a deferred `Bw` must never float
+    /// past a receive belonging to a different part/chunk — on W/X schedules
+    /// that reorders it against the other chunk's FIFO traffic.
+    fn assert_bw_never_crosses_foreign_recv(s: &Schedule) {
+        for d in 0..s.devices() {
+            let prog = s.program(DeviceId(d));
+            for (bw_pos, i) in prog.iter() {
+                if i.kind != InstrKind::BackwardWeight {
+                    continue;
+                }
+                let bi_pos = prog
+                    .position(|x| {
+                        x.kind == InstrKind::BackwardInput
+                            && x.micro == i.micro
+                            && x.part == i.part
+                    })
+                    .expect("every Bw has a Bi");
+                for between in &prog.instrs()[bi_pos..bw_pos] {
+                    if between.kind.is_recv() {
+                        assert_eq!(
+                            between.part, i.part,
+                            "d{d}: Bw{}^{} floated past a part-{} receive",
+                            i.micro.0, i.part.0, between.part.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_bw_stays_within_its_part_on_interleave() {
+        let mut s = generate(ScheduleConfig::new(
+            SchemeKind::Interleave { chunks: 2 },
+            4,
+            8,
+        ));
+        split_backward(&mut s, SplitOptions::default());
+        let opts = mario_ir::ValidateOptions {
+            channel_capacity: 2,
+            ..Default::default()
+        };
+        mario_ir::validate_with(&s, opts).unwrap_or_else(|e| panic!("{e:?}"));
+        assert_bw_never_crosses_foreign_recv(&s);
+    }
+
+    #[test]
+    fn deferred_bw_stays_within_its_part_on_chimera() {
+        let mut s = generate(ScheduleConfig::new(SchemeKind::Chimera, 4, 8));
+        split_backward(&mut s, SplitOptions::default());
+        let opts = mario_ir::ValidateOptions {
+            channel_capacity: 2,
+            ..Default::default()
+        };
+        mario_ir::validate_with(&s, opts).unwrap_or_else(|e| panic!("{e:?}"));
+        assert_bw_never_crosses_foreign_recv(&s);
     }
 
     #[test]

@@ -25,6 +25,8 @@ use std::time::{Duration, Instant};
 pub enum SchemeChoice {
     /// Search across V, X and W.
     Auto,
+    /// Search across V, X, W plus the zero-bubble family (Z, ZV).
+    AutoZb,
     /// Search only the given schemes.
     Fixed(Vec<SchemeKind>),
 }
@@ -37,6 +39,13 @@ impl SchemeChoice {
                 SchemeKind::OneFOneB,
                 SchemeKind::Chimera,
                 SchemeKind::Interleave { chunks: 2 },
+            ],
+            SchemeChoice::AutoZb => vec![
+                SchemeKind::OneFOneB,
+                SchemeKind::Chimera,
+                SchemeKind::Interleave { chunks: 2 },
+                SchemeKind::ZeroBubbleH1,
+                SchemeKind::ZeroBubbleV,
             ],
             SchemeChoice::Fixed(v) => v.clone(),
         }
@@ -602,7 +611,9 @@ pub fn topology_of(scheme: SchemeKind, pp: u32) -> Topology {
 /// probe range.
 pub fn scheme_channel_capacity(scheme: SchemeKind) -> usize {
     match scheme {
-        SchemeKind::Wave { .. } | SchemeKind::Chimera => 2,
+        // ZB-V's reflected second chunk needs the same buffer depth as a
+        // two-chunk wave at larger scales.
+        SchemeKind::Wave { .. } | SchemeKind::Chimera | SchemeKind::ZeroBubbleV => 2,
         _ => 1,
     }
 }

@@ -169,7 +169,9 @@ impl DeviceProgram {
                 InstrKind::Forward { ckpt: false } => live += 1,
                 InstrKind::Forward { ckpt: true } if count_ckpt => live += 1,
                 InstrKind::Recompute if !count_ckpt => recomputed += 1,
-                InstrKind::Backward | InstrKind::BackwardInput => {
+                // A split micro-batch retires at the *weight* half, not the
+                // input half: the weight GEMM still reads the activation.
+                InstrKind::Backward | InstrKind::BackwardWeight => {
                     let total = live + recomputed;
                     if total > 0 {
                         // Retire one micro-batch: prefer a recomputed one,

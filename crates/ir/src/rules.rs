@@ -109,13 +109,18 @@ impl MemoryRules {
                 Ok(())
             }
             InstrKind::BackwardInput => {
-                // ZB accounting: the input-gradient half consumes (and
-                // frees) the bulky intermediate activations; only a small
-                // stash of layer inputs survives for the weight GEMMs.
-                ledger.free_if_live(AllocKey::Act(m, p));
+                // ZB accounting: the weight GEMM still *reads* the stage's
+                // activations, so the input-gradient half must not free them
+                // — it only adds the small per-layer gradient stash. (An
+                // earlier version freed `Act` here, under-counting every
+                // split schedule's peak between `Bi` and `Bw`.)
                 ledger.alloc(AllocKey::Wgrad(m, p), cost.wgrad_stash_bytes(device, p))
             }
             InstrKind::BackwardWeight => {
+                // The deferred weight half is the true end of the micro's
+                // lifecycle: activations, checkpoint stash, and the gradient
+                // stash all retire here.
+                ledger.free_if_live(AllocKey::Act(m, p));
                 ledger.free_if_live(AllocKey::Wgrad(m, p));
                 ledger.free_if_live(AllocKey::Ckpt(m, p));
                 Ok(())
@@ -158,6 +163,33 @@ mod tests {
             .apply(&mut l, &cost, d, &Instr::backward(0u32, 0u32))
             .unwrap();
         assert_eq!(l.current(), 0);
+    }
+
+    #[test]
+    fn split_backward_keeps_activation_live_until_the_weight_half() {
+        let s = two_dev_sched();
+        let rules = MemoryRules::new(&s);
+        let cost = UnitCost {
+            act_full_bytes: 10,
+            ..UnitCost::paper_grid()
+        };
+        let mut l = MemLedger::new(0, None);
+        let d = DeviceId(1); // last stage: no crossing output
+        rules
+            .apply(&mut l, &cost, d, &Instr::forward(0u32, 0u32))
+            .unwrap();
+        assert_eq!(l.current(), 10);
+        // Bi must NOT free the activation: the weight GEMM reads it.
+        rules
+            .apply(&mut l, &cost, d, &Instr::backward_input(0u32, 0u32))
+            .unwrap();
+        assert_eq!(l.current(), 10);
+        // Bw retires everything.
+        rules
+            .apply(&mut l, &cost, d, &Instr::backward_weight(0u32, 0u32))
+            .unwrap();
+        assert_eq!(l.current(), 0);
+        assert_eq!(l.peak(), 10);
     }
 
     #[test]

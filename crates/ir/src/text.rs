@@ -47,6 +47,10 @@ fn scheme_token(s: SchemeKind) -> String {
         SchemeKind::Interleave { chunks } => format!("W:{chunks}"),
         SchemeKind::Wave { chunks } => format!("H:{chunks}"),
         SchemeKind::ForwardOnly => "F".into(),
+        // "F" is taken by ForwardOnly and "B"/"Bi"/"Bw" by the instruction
+        // notation, so the ZB family gets "Z"-prefixed tokens.
+        SchemeKind::ZeroBubbleH1 => "Z".into(),
+        SchemeKind::ZeroBubbleV => "ZV".into(),
     }
 }
 
@@ -56,6 +60,8 @@ fn parse_scheme(tok: &str) -> Option<SchemeKind> {
         "V" => Some(SchemeKind::OneFOneB),
         "X" => Some(SchemeKind::Chimera),
         "F" => Some(SchemeKind::ForwardOnly),
+        "Z" => Some(SchemeKind::ZeroBubbleH1),
+        "ZV" => Some(SchemeKind::ZeroBubbleV),
         _ => {
             let (letter, chunks) = tok.split_once(':')?;
             let chunks: u32 = chunks.parse().ok()?;
@@ -259,16 +265,47 @@ mod tests {
         assert_eq!(s, back);
     }
 
-    #[test]
-    fn scheme_tokens_round_trip() {
-        for s in [
+    /// Every scheme, exhaustively: the `match` forces a compile error when a
+    /// new `SchemeKind` is added, so its text token gets picked deliberately
+    /// instead of colliding with an existing letter ("F" already bit us —
+    /// it belongs to ForwardOnly, so ZB-H1 had to become "Z").
+    fn all_schemes() -> Vec<SchemeKind> {
+        match SchemeKind::GPipe {
+            SchemeKind::GPipe
+            | SchemeKind::OneFOneB
+            | SchemeKind::Chimera
+            | SchemeKind::Interleave { .. }
+            | SchemeKind::Wave { .. }
+            | SchemeKind::ForwardOnly
+            | SchemeKind::ZeroBubbleH1
+            | SchemeKind::ZeroBubbleV => {}
+        }
+        vec![
             SchemeKind::GPipe,
             SchemeKind::OneFOneB,
             SchemeKind::Chimera,
             SchemeKind::Interleave { chunks: 3 },
             SchemeKind::Wave { chunks: 2 },
-        ] {
+            SchemeKind::ForwardOnly,
+            SchemeKind::ZeroBubbleH1,
+            SchemeKind::ZeroBubbleV,
+        ]
+    }
+
+    #[test]
+    fn scheme_tokens_round_trip() {
+        for s in all_schemes() {
             assert_eq!(parse_scheme(&scheme_token(s)), Some(s));
+        }
+    }
+
+    #[test]
+    fn scheme_tokens_are_pairwise_distinct() {
+        let tokens: Vec<String> = all_schemes().iter().map(|&s| scheme_token(s)).collect();
+        for (i, a) in tokens.iter().enumerate() {
+            for b in &tokens[i + 1..] {
+                assert_ne!(a, b, "scheme token collision");
+            }
         }
     }
 

@@ -41,6 +41,18 @@ pub enum SchemeKind {
     /// device, micro-batches flow 0→D−1 and are done — no backward pass,
     /// no optimizer step. Bubble fraction is the classic `(p−1)/(m+p−1)`.
     ForwardOnly,
+    /// Zero-bubble ZB-H1 (Qi et al., ICLR '24): the 1F1B chain with every
+    /// backward split into its input-gradient half `Bi` (critical path)
+    /// and weight-gradient half `Bw`, the latter deferred into the
+    /// warmup/cooldown and recv-gap bubbles. Same chain topology as
+    /// 1F1B; the split lives in the instruction stream.
+    ZeroBubbleH1,
+    /// Zero-bubble V schedule: two model chunks per device arranged in a
+    /// V (chunk 0 runs 0→D−1, chunk 1 reflects back D−1→0, like a
+    /// two-chunk wave), with the ZB backward split. The V shape keeps
+    /// both halves of a micro's backward on-device at the turn, so `Bw`
+    /// deferral never crosses a link.
+    ZeroBubbleV,
 }
 
 impl SchemeKind {
@@ -53,14 +65,19 @@ impl SchemeKind {
             SchemeKind::Interleave { .. } => "W",
             SchemeKind::Wave { .. } => "H",
             SchemeKind::ForwardOnly => "F",
+            SchemeKind::ZeroBubbleH1 => "Z",
+            SchemeKind::ZeroBubbleV => "ZV",
         }
     }
 
     /// How many partitions (stages) each device holds under this scheme.
     pub fn parts_per_device(&self) -> u32 {
         match *self {
-            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => 1,
-            SchemeKind::Chimera => 2,
+            SchemeKind::GPipe
+            | SchemeKind::OneFOneB
+            | SchemeKind::ForwardOnly
+            | SchemeKind::ZeroBubbleH1 => 1,
+            SchemeKind::Chimera | SchemeKind::ZeroBubbleV => 2,
             SchemeKind::Interleave { chunks } | SchemeKind::Wave { chunks } => chunks,
         }
     }
@@ -123,7 +140,9 @@ impl Topology {
             SchemeKind::GPipe
             | SchemeKind::OneFOneB
             | SchemeKind::ForwardOnly
+            | SchemeKind::ZeroBubbleH1
             | SchemeKind::Chimera => self.devices,
+            SchemeKind::ZeroBubbleV => self.devices * 2,
             SchemeKind::Interleave { chunks } | SchemeKind::Wave { chunks } => {
                 self.devices * chunks
             }
@@ -152,7 +171,17 @@ impl Topology {
             self.scheme
         );
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => StageId(d),
+            SchemeKind::GPipe
+            | SchemeKind::OneFOneB
+            | SchemeKind::ForwardOnly
+            | SchemeKind::ZeroBubbleH1 => StageId(d),
+            SchemeKind::ZeroBubbleV => {
+                if p == 0 {
+                    StageId(d)
+                } else {
+                    StageId(dd + (dd - 1 - d))
+                }
+            }
             SchemeKind::Chimera => {
                 if p == 0 {
                     StageId(d)
@@ -176,9 +205,16 @@ impl Topology {
     pub fn forward_path(&self, route: u32) -> Vec<(DeviceId, PartId)> {
         let dd = self.devices;
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => {
+            SchemeKind::GPipe
+            | SchemeKind::OneFOneB
+            | SchemeKind::ForwardOnly
+            | SchemeKind::ZeroBubbleH1 => {
                 (0..dd).map(|d| (DeviceId(d), PartId(0))).collect()
             }
+            SchemeKind::ZeroBubbleV => (0..dd)
+                .map(|d| (DeviceId(d), PartId(0)))
+                .chain((0..dd).rev().map(|d| (DeviceId(d), PartId(1))))
+                .collect(),
             SchemeKind::Chimera => {
                 if route == 0 {
                     (0..dd).map(|d| (DeviceId(d), PartId(0))).collect()
@@ -213,8 +249,23 @@ impl Topology {
         let p = part.0;
         let dd = self.devices;
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => {
+            SchemeKind::GPipe
+            | SchemeKind::OneFOneB
+            | SchemeKind::ForwardOnly
+            | SchemeKind::ZeroBubbleH1 => {
                 (d + 1 < dd).then(|| (DeviceId(d + 1), PartId(0)))
+            }
+            SchemeKind::ZeroBubbleV => {
+                if p == 0 {
+                    if d + 1 < dd {
+                        Some((DeviceId(d + 1), PartId(0)))
+                    } else {
+                        // The V reflects: chunk 1 starts on the last device.
+                        Some((DeviceId(d), PartId(1)))
+                    }
+                } else {
+                    (d > 0).then(|| (DeviceId(d - 1), PartId(1)))
+                }
             }
             SchemeKind::Chimera => {
                 if p == 0 {
@@ -258,8 +309,22 @@ impl Topology {
         let p = part.0;
         let dd = self.devices;
         match self.scheme {
-            SchemeKind::GPipe | SchemeKind::OneFOneB | SchemeKind::ForwardOnly => {
+            SchemeKind::GPipe
+            | SchemeKind::OneFOneB
+            | SchemeKind::ForwardOnly
+            | SchemeKind::ZeroBubbleH1 => {
                 (d > 0).then(|| (DeviceId(d - 1), PartId(0)))
+            }
+            SchemeKind::ZeroBubbleV => {
+                if p == 0 {
+                    (d > 0).then(|| (DeviceId(d - 1), PartId(0)))
+                } else if d + 1 < dd {
+                    Some((DeviceId(d + 1), PartId(1)))
+                } else {
+                    // Reflection point: chunk 1 on the last device follows
+                    // chunk 0 on the same device.
+                    Some((DeviceId(d), PartId(0)))
+                }
             }
             SchemeKind::Chimera => {
                 if p == 0 {
@@ -416,6 +481,8 @@ mod tests {
             Topology::new(SchemeKind::Chimera, 6),
             Topology::new(SchemeKind::Interleave { chunks: 3 }, 4),
             Topology::new(SchemeKind::Wave { chunks: 3 }, 4),
+            Topology::new(SchemeKind::ZeroBubbleH1, 5),
+            Topology::new(SchemeKind::ZeroBubbleV, 4),
         ];
         for t in &topos {
             for (d, p) in all_hops(t) {
@@ -446,6 +513,8 @@ mod tests {
             Topology::new(SchemeKind::Chimera, 8),
             Topology::new(SchemeKind::Interleave { chunks: 2 }, 8),
             Topology::new(SchemeKind::Wave { chunks: 2 }, 8),
+            Topology::new(SchemeKind::ZeroBubbleH1, 8),
+            Topology::new(SchemeKind::ZeroBubbleV, 8),
         ];
         for t in &topos {
             for route in 0..t.num_routes() {
@@ -471,5 +540,28 @@ mod tests {
         assert_eq!(SchemeKind::OneFOneB.shape_letter(), "V");
         assert_eq!(SchemeKind::Chimera.shape_letter(), "X");
         assert_eq!(SchemeKind::Interleave { chunks: 2 }.shape_letter(), "W");
+        assert_eq!(SchemeKind::ZeroBubbleH1.shape_letter(), "Z");
+        assert_eq!(SchemeKind::ZeroBubbleV.shape_letter(), "ZV");
+    }
+
+    #[test]
+    fn zero_bubble_v_reflects_on_the_last_device() {
+        let t = Topology::new(SchemeKind::ZeroBubbleV, 4);
+        assert_eq!(t.num_stages(), 8);
+        assert_eq!(t.parts_per_device(), 2);
+        // Chunk 0 runs 0->3, chunk 1 runs 3->0; reflection on d3 stays local.
+        assert_eq!(
+            t.next_hop(DeviceId(3), PartId(0)),
+            Some((DeviceId(3), PartId(1)))
+        );
+        assert_eq!(
+            t.next_hop(DeviceId(3), PartId(1)),
+            Some((DeviceId(2), PartId(1)))
+        );
+        assert_eq!(t.last_hop(0), (DeviceId(0), PartId(1)));
+        // Stage ids increase monotonically along the path.
+        let path = t.forward_path(0);
+        let stages: Vec<u32> = path.iter().map(|&(d, p)| t.stage_of(d, p).0).collect();
+        assert_eq!(stages, (0..8).collect::<Vec<_>>());
     }
 }

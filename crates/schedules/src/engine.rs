@@ -279,10 +279,14 @@ pub fn unit_makespan(schedule: &Schedule) -> u64 {
     // dependency (previous-hop forward / next-hop backward) has finished.
     const FW_T: u64 = 1;
     const BW_T: u64 = 2;
+    // Split halves: Bi + Bw = B on the unit grid.
+    const BI_T: u64 = 1;
+    const BWGT_T: u64 = 1;
     let devices = schedule.devices() as usize;
     let mut pc = vec![0usize; devices];
     let mut clocks = vec![0u64; devices];
-    let mut finish: HashMap<(bool, u32, u32), u64> = HashMap::new(); // (fw, micro, hop)
+    // Phase 0 = forward, 1 = backward or its input half, 2 = weight half.
+    let mut finish: HashMap<(u8, u32, u32), u64> = HashMap::new(); // (phase, micro, hop)
     let hopidx = |m: MicroId, d: DeviceId, p: PartId| -> u32 {
         schedule
             .forward_path_of(m)
@@ -300,37 +304,45 @@ pub fn unit_makespan(schedule: &Schedule) -> u64 {
             };
             all_done = false;
             let hop = hopidx(i.micro, DeviceId(d as u32), i.part);
-            let (dep, dur) = match i.kind {
+            let (phase, dep, dur) = match i.kind {
                 mario_ir::InstrKind::Forward { .. } => {
                     let dep = if hop == 0 {
                         Some(0)
                     } else {
-                        finish.get(&(true, i.micro.0, hop - 1)).copied()
+                        finish.get(&(0, i.micro.0, hop - 1)).copied()
                     };
-                    (dep, FW_T)
+                    (0u8, dep, FW_T)
                 }
-                mario_ir::InstrKind::Backward => {
+                mario_ir::InstrKind::Backward | mario_ir::InstrKind::BackwardInput => {
+                    // The input half carries the same cross-stage dependency
+                    // as the full backward; only its duration differs.
                     let len = schedule.forward_path_of(i.micro).len() as u32;
-                    let fw_done = finish.get(&(true, i.micro.0, hop)).copied();
+                    let fw_done = finish.get(&(0, i.micro.0, hop)).copied();
                     let dep = if hop + 1 == len {
                         fw_done
                     } else {
-                        match (fw_done, finish.get(&(false, i.micro.0, hop + 1)).copied()) {
+                        match (fw_done, finish.get(&(1, i.micro.0, hop + 1)).copied()) {
                             (Some(a), Some(b)) => Some(a.max(b)),
                             _ => None,
                         }
                     };
-                    (dep, BW_T)
+                    let dur = if matches!(i.kind, mario_ir::InstrKind::Backward) {
+                        BW_T
+                    } else {
+                        BI_T
+                    };
+                    (1, dep, dur)
                 }
-                _ => (Some(0), 0),
+                mario_ir::InstrKind::BackwardWeight => {
+                    // Local only: waits for its own input half.
+                    (2, finish.get(&(1, i.micro.0, hop)).copied(), BWGT_T)
+                }
+                _ => (3, Some(0), 0),
             };
             if let Some(dep) = dep {
                 let start = clocks[d].max(dep);
                 clocks[d] = start + dur;
-                finish.insert(
-                    (matches!(i.kind, mario_ir::InstrKind::Forward { .. }), i.micro.0, hop),
-                    start + dur,
-                );
+                finish.insert((phase, i.micro.0, hop), start + dur);
                 pc[d] += 1;
                 fired = true;
             }

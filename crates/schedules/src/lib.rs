@@ -24,6 +24,7 @@ pub mod interleave;
 pub mod one_f_one_b;
 pub mod scheme;
 pub mod wave;
+pub mod zero_bubble;
 
 pub use builder::{insert_comm, CommOptions};
 pub use engine::{derive_schedule, unit_makespan, EnginePolicy};

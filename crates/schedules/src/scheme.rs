@@ -55,6 +55,8 @@ pub fn generate_compute(scheme: SchemeKind, devices: u32, micros: u32) -> Schedu
         }
         SchemeKind::Wave { chunks } => crate::wave::generate_compute(devices, micros, chunks),
         SchemeKind::ForwardOnly => crate::forward_only::generate_compute(devices, micros),
+        SchemeKind::ZeroBubbleH1 => crate::zero_bubble::generate_compute(devices, micros),
+        SchemeKind::ZeroBubbleV => crate::zero_bubble::generate_compute_v(devices, micros),
     }
 }
 
@@ -90,6 +92,8 @@ mod tests {
             SchemeKind::Interleave { chunks: 2 },
             SchemeKind::Wave { chunks: 2 },
             SchemeKind::ForwardOnly,
+            SchemeKind::ZeroBubbleH1,
+            SchemeKind::ZeroBubbleV,
         ]
         .into_iter()
         .filter(|s| !matches!(s, SchemeKind::Chimera) || devices.is_multiple_of(2))

@@ -20,7 +20,7 @@ const USAGE: &str = "\
 mario — near zero-cost activation checkpointing in pipeline parallelism
 
 USAGE:
-  mario generate --scheme <G|V|X|W:k|H:k> --devices <D> --micros <N>
+  mario generate --scheme <G|V|X|W:k|H:k|F|Z|ZV> --devices <D> --micros <N>
                  [--mario] [--out <file>]
   mario optimize --model <name> --devices <D> --gbs <B>
                  [--mem-gb <G>] [--scheme <V|X|W:2>] [--out <file>]
@@ -52,6 +52,8 @@ fn parse_scheme(tok: &str) -> Option<SchemeKind> {
         "V" => Some(SchemeKind::OneFOneB),
         "X" => Some(SchemeKind::Chimera),
         "F" => Some(SchemeKind::ForwardOnly),
+        "Z" => Some(SchemeKind::ZeroBubbleH1),
+        "ZV" => Some(SchemeKind::ZeroBubbleV),
         _ => {
             let (l, c) = tok.split_once(':')?;
             let chunks = c.parse().ok()?;

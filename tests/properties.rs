@@ -19,12 +19,16 @@ fn scheme_config() -> impl Strategy<Value = (SchemeKind, u32, u32)> {
         // Wave: any N.
         (2u32..=4, 1u32..=8, 1u32..=3)
             .prop_map(|(d, n, c)| (SchemeKind::Wave { chunks: c }, d, n)),
+        // Zero-bubble H1: any D, any N (the 1F1B chain, split backwards).
+        (2u32..=6, 1u32..=12).prop_map(|(d, n)| (SchemeKind::ZeroBubbleH1, d, n)),
+        // Zero-bubble V: any N (two reflected chunks per device).
+        (2u32..=4, 1u32..=8).prop_map(|(d, n)| (SchemeKind::ZeroBubbleV, d, n)),
     ]
 }
 
 fn cap_of(scheme: SchemeKind) -> usize {
     match scheme {
-        SchemeKind::Wave { .. } => 2,
+        SchemeKind::Wave { .. } | SchemeKind::ZeroBubbleV => 2,
         _ => 1,
     }
 }
@@ -205,6 +209,46 @@ proptest! {
             channel_capacity: cap, iterations: 2, ..Default::default()
         }).unwrap();
         prop_assert_eq!(one.peak_mem, two.peak_mem);
+    }
+
+    /// The split-backward memory lifecycle (activations stay live until
+    /// `Bw`) is charged identically by the DP simulator and both emulator
+    /// backends: peak memory agrees bit-for-bit on split schedules.
+    #[test]
+    fn split_backward_peak_memory_matches_three_ways((scheme, d, n) in scheme_config()) {
+        let mut s = generate(ScheduleConfig::new(scheme, d, n));
+        // Split the full backwards (a no-op on the already-split ZB
+        // schemes, which still exercises the Bi/Bw accounting).
+        mario_core::passes::split_backward(
+            &mut s,
+            mario_core::passes::SplitOptions::default(),
+        );
+        let cost = UnitCost::paper_grid().with_ckpt_bytes(1);
+        let cap = cap_of(scheme).max(2); // deferral can deepen recv queues
+        let opts = mario::ir::ValidateOptions {
+            channel_capacity: cap,
+            ..Default::default()
+        };
+        prop_assert!(mario::ir::validate_with(&s, opts).is_ok());
+        let mem = simulate_memory(&s, &cost, None);
+        let cfg = EmulatorConfig {
+            channel_capacity: cap,
+            ..Default::default()
+        };
+        let emu = mario::cluster::run(&s, &cost, cfg).unwrap();
+        let ev = mario::cluster::run(
+            &s,
+            &cost,
+            EmulatorConfig {
+                backend: EmulatorBackend::Event,
+                ..cfg
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(&mem.peak, &emu.peak_mem,
+            "sim vs thread peak diverged on split {:?} D={} N={}", scheme, d, n);
+        prop_assert_eq!(&ev.peak_mem, &emu.peak_mem,
+            "event vs thread peak diverged on split {:?} D={} N={}", scheme, d, n);
     }
 }
 
