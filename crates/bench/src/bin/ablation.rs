@@ -26,6 +26,13 @@ fn main() {
                     .num("throughput", p.throughput),
             );
         }
+        s.attach_critical_path(&mario_bench::analytic_critical_path(
+            mario_model::ModelConfig::gpt3_1_6b(),
+            mario_ir::SchemeKind::OneFOneB,
+            4,
+            16,
+            2,
+        ));
         summary::emit(&s);
     }
 }

@@ -46,6 +46,11 @@ fn main() {
                     .bool("ok", r.ok),
             );
         }
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::OneFOneB,
+            4,
+            8,
+        ));
         summary::emit(&s);
     }
     if rows.iter().any(|r| !r.ok) || correlated.iter().any(|r| !r.ok) {

@@ -32,6 +32,11 @@ fn main() {
                     .int("k_async", r.k_async),
             );
         }
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::OneFOneB,
+            4,
+            8,
+        ));
         summary::emit(&s);
     }
     if !rows.iter().any(|r| r.absorbed > 0.0) {

@@ -80,6 +80,11 @@ fn main() {
             }
             s.push_row(row);
         }
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::OneFOneB,
+            4,
+            8,
+        ));
         summary::emit(&s);
     }
     if rows.iter().any(|r| !r.ok)

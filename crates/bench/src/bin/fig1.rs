@@ -16,6 +16,11 @@ fn main() {
                     .num("bubble_ratio", r.bubble_ratio),
             );
         }
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::OneFOneB,
+            4,
+            8,
+        ));
         summary::emit(&s);
     }
 }

@@ -19,6 +19,13 @@ fn main() {
                     .int("est_mem", p.est_mem),
             );
         }
+        s.attach_critical_path(&mario_bench::analytic_critical_path(
+            mario_model::ModelConfig::gpt3_1_6b(),
+            mario_ir::SchemeKind::OneFOneB,
+            4,
+            16,
+            2,
+        ));
         summary::emit(&s);
     }
 }

@@ -25,6 +25,15 @@ fn main() {
                     .bool("oom", e.oom),
             );
         }
+        // Explain the winner: re-time its schedule and attribute the
+        // measured iteration time along the critical path.
+        if let Some(report) = result.explain_best(
+            &mario_model::ModelConfig::gpt3_13b(),
+            &mario_model::GpuSpec::a100_40g(),
+            &mario_bench::experiments::fig11::config(64, 2048),
+        ) {
+            s.attach_critical_path(&report);
+        }
         summary::emit(&s);
     }
 }

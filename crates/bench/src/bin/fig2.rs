@@ -17,6 +17,11 @@ fn main() {
                     .int("paper_t", st.paper_t),
             );
         }
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::OneFOneB,
+            4,
+            4,
+        ));
         summary::emit(&s);
     }
 }

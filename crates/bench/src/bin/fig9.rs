@@ -21,6 +21,13 @@ fn main() {
                 None => row.raw("max_seqlen", "null".to_string()),
             });
         }
+        s.attach_critical_path(&mario_bench::analytic_critical_path(
+            mario_model::ModelConfig::gpt3_1_6b(),
+            mario_ir::SchemeKind::OneFOneB,
+            8,
+            16,
+            2,
+        ));
         summary::emit(&s);
     }
 }

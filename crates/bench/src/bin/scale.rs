@@ -28,6 +28,11 @@ fn main() {
                     .num("mi_per_s", r.mi_per_s),
             );
         }
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::OneFOneB,
+            32,
+            64,
+        ));
         summary::emit(&s);
     }
     if !scale::sound(&rows) {

@@ -62,6 +62,11 @@ fn main() {
                     .bool("ok", r.ok),
             );
         }
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::ForwardOnly,
+            4,
+            8,
+        ));
         summary::emit(&s);
     }
     if gate.iter().any(|r| !r.ok) || rows.iter().any(|r| !r.ok) || !rack_ok {

@@ -26,6 +26,11 @@ fn main() {
     }
     if summary::json_requested() {
         s.push_metric("worst_mario_peak_units", worst_mario as f64);
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::OneFOneB,
+            4,
+            8,
+        ));
         summary::emit(&s);
     }
 }

@@ -52,6 +52,11 @@ fn main() {
                     .int("peak_max", r.peak_mem.1),
             );
         }
+        s.attach_critical_path(&mario_bench::unit_critical_path(
+            mario_ir::SchemeKind::ZeroBubbleH1,
+            4,
+            8,
+        ));
         summary::emit(&s);
     }
     if gate.iter().any(|r| !r.ok) || !analytic_ok {

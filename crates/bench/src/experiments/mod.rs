@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod ckptshard;
+pub mod critpath;
 pub mod degraded;
 pub mod elastic;
 pub mod fig1;

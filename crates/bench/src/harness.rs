@@ -4,9 +4,10 @@
 //! simulator standing in for configurations that OOM (the paper's
 //! underlined Table 5 values).
 
+use mario_core::critpath::{analyze, CritReport};
 use mario_core::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
 use mario_core::simulator::{simulate_memory, simulate_timeline};
-use mario_ir::{SchemeKind, Topology};
+use mario_ir::{CostModel, Schedule, SchemeKind, Topology};
 use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
 use mario_schedules::{generate, ScheduleConfig};
 use serde::{Deserialize, Serialize};
@@ -184,6 +185,55 @@ pub fn channel_capacity(scheme: SchemeKind) -> usize {
         SchemeKind::Wave { .. } | SchemeKind::Chimera | SchemeKind::ZeroBubbleV => 2,
         _ => 1,
     }
+}
+
+/// Critical-path report for an already-built schedule: simulate under
+/// `cost` and attribute every nanosecond of the makespan.
+pub fn critical_path_of(
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    channel_capacity: usize,
+) -> CritReport {
+    let t = simulate_timeline(schedule, cost, channel_capacity).expect("schedule simulates");
+    analyze(schedule, &t.spans)
+}
+
+/// The representative critical-path report a bench's `--json` summary
+/// publishes: the bench's headline (scheme, depth, micro-count) under
+/// `cost`, generated untuned, simulated, and analyzed. Bins attach it
+/// via [`crate::summary::RunSummary::attach_critical_path`].
+pub fn headline_critical_path(
+    scheme: SchemeKind,
+    devices: u32,
+    micros: u32,
+    cost: &dyn CostModel,
+) -> CritReport {
+    let schedule = generate(ScheduleConfig::new(scheme, devices, micros));
+    critical_path_of(&schedule, cost, channel_capacity(scheme))
+}
+
+/// [`headline_critical_path`] on the paper's unit grid (every kernel
+/// `t`, zero comm cost) — the attribution the closed-form benches
+/// publish.
+pub fn unit_critical_path(scheme: SchemeKind, devices: u32, micros: u32) -> CritReport {
+    headline_critical_path(scheme, devices, micros, &mario_ir::UnitCost::paper_grid())
+}
+
+/// [`headline_critical_path`] under the analytic cost model of a pure
+/// pipeline (`model` on A100-40G, depth `pp`, micro-batch size `mbs`) —
+/// the attribution the model-driven benches publish.
+pub fn analytic_critical_path(
+    model: ModelConfig,
+    scheme: SchemeKind,
+    pp: u32,
+    micros: u32,
+    mbs: u32,
+) -> CritReport {
+    let gpu = GpuSpec::a100_40g();
+    let topo = Topology::new(scheme, pp);
+    let setup = TrainSetup::pipeline(model, gpu, topo, mbs);
+    let cost = AnalyticCost::new(&setup);
+    headline_critical_path(scheme, pp, micros, &cost)
 }
 
 /// Runs one experiment point end to end.

@@ -14,6 +14,7 @@
 //! `metrics` holds the headline scalars a CI gate checks; `rows` mirrors
 //! the bench's structured result rows.
 
+use mario_core::critpath::CritReport;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -118,6 +119,40 @@ impl JsonObj {
     }
 }
 
+/// Renders a [`CritReport`] as the uniform `critical_path` object every
+/// bench summary carries: the path length (== makespan, bit for bit —
+/// CI gates on the equality), the per-class breakdown, and the top-5
+/// zero-slack ops longest first.
+pub fn critical_path_json(report: &CritReport) -> String {
+    let b = &report.breakdown;
+    JsonObj::new()
+        .int("path_ns", b.total())
+        .int("makespan_ns", report.makespan)
+        .int("segments", report.path.len() as u64)
+        .int("compute_ns", b.compute_ns)
+        .int("comm_launch_ns", b.comm_launch_ns)
+        .int("wire_ns", b.wire_ns)
+        .int("bubble_ns", b.bubble_ns)
+        .int("ckpt_ns", b.ckpt_ns)
+        .int("allreduce_ns", b.allreduce_ns)
+        .int("optimizer_ns", b.optimizer_ns)
+        .int("reconfig_ns", b.reconfig_ns)
+        .raw(
+            "top_ops",
+            json_array(report.top_path_ops(5).iter().map(|o| {
+                JsonObj::new()
+                    .int("device", o.device.0)
+                    .int("pc", o.pc)
+                    .int("iter", o.iter)
+                    .str("class", &format!("{:?}", o.class))
+                    .int("start_ns", o.start)
+                    .int("dur_ns", o.len_ns())
+                    .render()
+            })),
+        )
+        .render()
+}
+
 /// One bench run's machine-readable summary: headline metrics plus the
 /// structured result rows.
 #[derive(Debug, Clone)]
@@ -125,6 +160,7 @@ pub struct RunSummary {
     bench: String,
     metrics: Vec<(String, f64)>,
     rows: Vec<JsonObj>,
+    extras: Vec<(String, String)>,
 }
 
 impl RunSummary {
@@ -135,6 +171,7 @@ impl RunSummary {
             bench: bench.to_string(),
             metrics: Vec::new(),
             rows: Vec::new(),
+            extras: Vec::new(),
         }
     }
 
@@ -154,6 +191,18 @@ impl RunSummary {
         self.rows.push(row);
     }
 
+    /// Attaches a pre-rendered JSON value as an extra top-level field,
+    /// emitted after `rows` in insertion order.
+    pub fn attach_raw(&mut self, key: &str, rendered: String) {
+        self.extras.push((key.to_string(), rendered));
+    }
+
+    /// Attaches the bench's representative [`CritReport`] under the
+    /// top-level `critical_path` key (see [`critical_path_json`]).
+    pub fn attach_critical_path(&mut self, report: &CritReport) {
+        self.attach_raw("critical_path", critical_path_json(report));
+    }
+
     /// Renders the full document.
     pub fn render(&self) -> String {
         let metrics = JsonObj {
@@ -163,11 +212,14 @@ impl RunSummary {
                 .map(|(k, v)| (k.clone(), json_f64(*v)))
                 .collect(),
         };
-        JsonObj::new()
+        let mut obj = JsonObj::new()
             .str("bench", &self.bench)
             .raw("metrics", metrics.render())
-            .raw("rows", json_array(self.rows.iter().map(JsonObj::render)))
-            .render()
+            .raw("rows", json_array(self.rows.iter().map(JsonObj::render)));
+        for (key, rendered) in &self.extras {
+            obj = obj.raw(key, rendered.clone());
+        }
+        obj.render()
     }
 
     /// Writes `<dir>/<bench>.json`, creating the directory if needed.
@@ -244,6 +296,29 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.starts_with("{\"bench\":\"unit\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn critical_path_attaches_after_rows_and_reconciles() {
+        let schedule = mario_schedules::generate(mario_schedules::ScheduleConfig::new(
+            mario_ir::SchemeKind::OneFOneB,
+            2,
+            2,
+        ));
+        let t =
+            mario_core::simulate_timeline(&schedule, &mario_ir::UnitCost::paper_grid(), 1).unwrap();
+        let report = mario_core::analyze(&schedule, &t.spans);
+        let mut s = RunSummary::new("demo").metric("ok", 1.0);
+        s.push_row(JsonObj::new().str("scheme", "V"));
+        s.attach_critical_path(&report);
+        let body = s.render();
+        // Extra fields land after rows; path length equals the makespan.
+        let rows_at = body.find("\"rows\"").unwrap();
+        let cp_at = body.find("\"critical_path\"").unwrap();
+        assert!(cp_at > rows_at);
+        assert!(body.contains(&format!("\"path_ns\":{}", t.total_ns)));
+        assert!(body.contains(&format!("\"makespan_ns\":{}", t.total_ns)));
+        assert!(body.contains("\"top_ops\":[{"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::link::{Header, LinkError, RecvHalf, SendHalf};
 use mario_ir::exec::MsgClass;
 use mario_ir::{
     AllocKey, CheckpointPolicy, CostModel, DeviceId, DeviceProgram, DeviceTelemetry, Instr,
-    InstrKind, LinkSendStats, MemLedger, MemoryRules, Nanos,
+    InstrKind, LinkSendStats, MemLedger, MemoryRules, Nanos, OpSpan, CKPT_PC,
 };
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -55,6 +55,8 @@ pub struct DeviceReport {
     pub link_sends: HashMap<DeviceId, LinkSendStats>,
     /// Total recv-wait time per sending peer, ns.
     pub link_recv_wait: HashMap<DeviceId, Nanos>,
+    /// Executed spans (execution order), if span recording was enabled.
+    pub spans: Vec<OpSpan>,
 }
 
 /// Shared scoreboard of completed checkpoint writes: each device records
@@ -221,6 +223,8 @@ pub struct DeviceCtx<'a> {
     pub seed: u64,
     /// Record a full per-instruction timeline.
     pub record_timeline: bool,
+    /// Record the executed span graph (see [`mario_ir::SpanGraph`]).
+    pub record_spans: bool,
     /// Faults this device must enforce.
     pub faults: DeviceFaults,
     /// Shared blocked-device table for wait-chain reporting.
@@ -252,6 +256,8 @@ pub struct DeviceRuntime<'a> {
     straggler: f64,
     record: bool,
     timeline: Vec<TimelineEvent>,
+    record_spans: bool,
+    spans: Vec<OpSpan>,
     faults: DeviceFaults,
     stalls: &'a StallTable,
     sends_to: HashMap<DeviceId, usize>,
@@ -314,6 +320,8 @@ impl<'a> DeviceRuntime<'a> {
             straggler,
             record: ctx.record_timeline,
             timeline: Vec::new(),
+            record_spans: ctx.record_spans,
+            spans: Vec::new(),
             faults: ctx.faults,
             stalls: ctx.stalls,
             sends_to: HashMap::new(),
@@ -443,6 +451,8 @@ impl<'a> DeviceRuntime<'a> {
                 }
             }
             let start = self.clock;
+            let (mut sp_sent, mut sp_wire, mut sp_gate) = (0, 0, 0);
+            let sp_work;
             match instr.kind {
                 InstrKind::Forward { .. }
                 | InstrKind::Backward
@@ -457,7 +467,8 @@ impl<'a> DeviceRuntime<'a> {
                         if matches!(instr.kind, InstrKind::Forward { .. })
                             && sv.topo.is_first_stage(self.device, instr.part)
                         {
-                            let gap = sv.release_of(instr.micro).saturating_sub(self.clock);
+                            sp_gate = sv.release_of(instr.micro);
+                            let gap = sp_gate.saturating_sub(self.clock);
                             let drained = self.drain_chunks(gap);
                             self.telemetry.classes.on_recv_gap(gap, drained);
                             self.clock += gap;
@@ -487,6 +498,7 @@ impl<'a> DeviceRuntime<'a> {
                     }
                     self.clock += dur;
                     self.telemetry.classes.compute_ns += dur;
+                    sp_work = dur;
                     self.apply_mem(pc, instr)?;
                     // Serving egress: a last-stage forward completes its
                     // micro-batch (observational write — never read here).
@@ -507,6 +519,7 @@ impl<'a> DeviceRuntime<'a> {
                     let launch = self.cost.p2p_launch_overhead();
                     self.clock += launch;
                     self.telemetry.classes.comm_launch_ns += launch;
+                    sp_work = launch;
                     let nth = {
                         let c = self.sends_to.entry(peer).or_insert(0);
                         let n = *c;
@@ -531,6 +544,19 @@ impl<'a> DeviceRuntime<'a> {
                                 instr: instr.to_string(),
                                 start,
                                 end: self.clock,
+                            });
+                        }
+                        if self.record_spans {
+                            self.spans.push(OpSpan {
+                                device: self.device,
+                                iter: iter_idx,
+                                pc: pc as u32,
+                                start,
+                                end: self.clock,
+                                work_ns: sp_work,
+                                sent_at: 0,
+                                wire_ns: 0,
+                                gate_ns: 0,
                             });
                         }
                         continue;
@@ -594,6 +620,7 @@ impl<'a> DeviceRuntime<'a> {
                     let launch = self.cost.p2p_launch_overhead();
                     self.clock += launch;
                     self.telemetry.classes.comm_launch_ns += launch;
+                    sp_work = launch;
                     let expect = Header {
                         class,
                         micro: instr.micro,
@@ -612,21 +639,23 @@ impl<'a> DeviceRuntime<'a> {
                     };
                     let me = self.device;
                     self.stalls.enter(me, peer, pc);
-                    let got = half.recv(expect, self.clock, |b| {
+                    let got = half.recv_info(expect, self.clock, |b| {
                         cost.p2p_time_between(peer, me, b)
                     });
                     self.stalls.clear(me);
                     match got {
-                        Ok(t) => {
+                        Ok(info) => {
                             // The wait for this message is exactly the idle
                             // gap an async checkpoint write drains into; the
                             // drained slice is checkpoint time, the rest a
                             // genuine pipeline bubble.
-                            let gap = t.saturating_sub(self.clock);
+                            let gap = info.arrival.saturating_sub(self.clock);
                             let drained = self.drain_chunks(gap);
                             self.telemetry.classes.on_recv_gap(gap, drained);
                             *self.link_recv_wait.entry(peer).or_default() += gap;
-                            self.clock = t;
+                            self.clock = info.arrival;
+                            sp_sent = info.sent_at;
+                            sp_wire = info.wire_ns;
                         }
                         Err(e) => return Err(self.link_err(e, pc, instr, peer)),
                     }
@@ -635,11 +664,13 @@ impl<'a> DeviceRuntime<'a> {
                     let dt = self.cost.allreduce_time(self.device);
                     self.clock += dt;
                     self.telemetry.classes.allreduce_ns += dt;
+                    sp_work = dt;
                 }
                 InstrKind::OptimizerStep => {
                     let dt = self.cost.optimizer_time(self.device);
                     self.clock += dt;
                     self.telemetry.classes.optimizer_ns += dt;
+                    sp_work = dt;
                 }
             }
             if self.record {
@@ -648,6 +679,19 @@ impl<'a> DeviceRuntime<'a> {
                     instr: instr.to_string(),
                     start,
                     end: self.clock,
+                });
+            }
+            if self.record_spans {
+                self.spans.push(OpSpan {
+                    device: self.device,
+                    iter: iter_idx,
+                    pc: pc as u32,
+                    start,
+                    end: self.clock,
+                    work_ns: sp_work,
+                    sent_at: sp_sent,
+                    wire_ns: sp_wire,
+                    gate_ns: sp_gate,
                 });
             }
         }
@@ -704,13 +748,28 @@ impl<'a> DeviceRuntime<'a> {
     pub fn drain_checkpoint(&mut self) {
         let start = self.clock;
         self.flush_residue();
-        if self.record && self.clock > start {
-            self.timeline.push(TimelineEvent {
-                device: self.device,
-                instr: "CKPT".to_string(),
-                start,
-                end: self.clock,
-            });
+        if self.clock > start {
+            if self.record {
+                self.timeline.push(TimelineEvent {
+                    device: self.device,
+                    instr: "CKPT".to_string(),
+                    start,
+                    end: self.clock,
+                });
+            }
+            if self.record_spans {
+                self.spans.push(OpSpan {
+                    device: self.device,
+                    iter: self.iteration,
+                    pc: CKPT_PC,
+                    start,
+                    end: self.clock,
+                    work_ns: self.clock - start,
+                    sent_at: 0,
+                    wire_ns: 0,
+                    gate_ns: 0,
+                });
+            }
         }
     }
 
@@ -795,6 +854,19 @@ impl<'a> DeviceRuntime<'a> {
                 end: self.clock,
             });
         }
+        if self.record_spans {
+            self.spans.push(OpSpan {
+                device: self.device,
+                iter: iter_idx,
+                pc: CKPT_PC,
+                start,
+                end: self.clock,
+                work_ns: self.clock - start,
+                sent_at: 0,
+                wire_ns: 0,
+                gate_ns: 0,
+            });
+        }
         Ok(())
     }
 
@@ -835,6 +907,7 @@ impl<'a> DeviceRuntime<'a> {
             telemetry,
             link_sends: self.link_sends,
             link_recv_wait: self.link_recv_wait,
+            spans: self.spans,
         }
     }
 

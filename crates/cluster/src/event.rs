@@ -32,7 +32,7 @@ use crate::runner::{settle_report, EmulatorConfig, RunReport};
 use mario_ir::exec::MsgClass;
 use mario_ir::{
     AllocKey, CheckpointPolicy, CostModel, DeviceId, DeviceProgram, DeviceTelemetry, Instr,
-    InstrKind, LinkSendStats, MemLedger, MemoryRules, Nanos, PartId, Schedule,
+    InstrKind, LinkSendStats, MemLedger, MemoryRules, Nanos, OpSpan, PartId, Schedule, CKPT_PC,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,6 +139,11 @@ struct EvDevice<'a> {
     straggler: f64,
     record: bool,
     timeline: Vec<TimelineEvent>,
+    record_spans: bool,
+    spans: Vec<OpSpan>,
+    /// `(sent_at, wire_ns)` of the last completed receive — stashed by
+    /// [`try_recv`] so the resume path can record the span.
+    last_recv: (Nanos, Nanos),
     faults: DeviceFaults,
     sends_to: HashMap<DeviceId, usize>,
     absorbed: Vec<FaultReport>,
@@ -193,6 +198,9 @@ impl<'a> EvDevice<'a> {
             straggler,
             record: cfg.record_timeline,
             timeline: Vec::new(),
+            record_spans: cfg.record_spans,
+            spans: Vec::new(),
+            last_recv: (0, 0),
             faults,
             sends_to: HashMap::new(),
             absorbed: Vec::new(),
@@ -307,6 +315,33 @@ impl<'a> EvDevice<'a> {
         }
     }
 
+    /// Records one executed span ending at the current clock; field
+    /// semantics identical to the thread backend's capture.
+    #[allow(clippy::too_many_arguments)]
+    fn record_span(
+        &mut self,
+        pc: u32,
+        start: Nanos,
+        work_ns: Nanos,
+        sent_at: Nanos,
+        wire_ns: Nanos,
+        gate_ns: Nanos,
+    ) {
+        if self.record_spans {
+            self.spans.push(OpSpan {
+                device: self.device,
+                iter: self.iteration,
+                pc,
+                start,
+                end: self.clock,
+                work_ns,
+                sent_at,
+                wire_ns,
+                gate_ns,
+            });
+        }
+    }
+
     /// Identical chunk-drain arithmetic to `DeviceRuntime::drain_chunks`:
     /// flush pending async-checkpoint chunks into an idle gap, front
     /// first, durable once the queue empties.
@@ -351,13 +386,31 @@ impl<'a> EvDevice<'a> {
     fn drain_checkpoint(&mut self, env: &EvEnv<'_>) {
         let start = self.clock;
         self.flush_residue(env);
-        if self.record && self.clock > start {
-            self.timeline.push(TimelineEvent {
-                device: self.device,
-                instr: "CKPT".to_string(),
-                start,
-                end: self.clock,
-            });
+        if self.clock > start {
+            if self.record {
+                self.timeline.push(TimelineEvent {
+                    device: self.device,
+                    instr: "CKPT".to_string(),
+                    start,
+                    end: self.clock,
+                });
+            }
+            if self.record_spans {
+                self.spans.push(OpSpan {
+                    device: self.device,
+                    // `iteration` has already advanced past the last one
+                    // here (the run-complete check), so rewind it — the
+                    // thread backend records the last iteration's index.
+                    iter: self.iters_total.saturating_sub(1),
+                    pc: CKPT_PC,
+                    start,
+                    end: self.clock,
+                    work_ns: self.clock - start,
+                    sent_at: 0,
+                    wire_ns: 0,
+                    gate_ns: 0,
+                });
+            }
         }
     }
 
@@ -426,6 +479,19 @@ impl<'a> EvDevice<'a> {
                 end: self.clock,
             });
         }
+        if self.record_spans {
+            self.spans.push(OpSpan {
+                device: self.device,
+                iter: iter_idx,
+                pc: CKPT_PC,
+                start,
+                end: self.clock,
+                work_ns: self.clock - start,
+                sent_at: 0,
+                wire_ns: 0,
+                gate_ns: 0,
+            });
+        }
         Ok(())
     }
 
@@ -452,6 +518,7 @@ impl<'a> EvDevice<'a> {
             telemetry,
             link_sends: std::mem::take(&mut self.link_sends),
             link_recv_wait: std::mem::take(&mut self.link_recv_wait),
+            spans: std::mem::take(&mut self.spans),
         }
     }
 }
@@ -532,9 +599,9 @@ fn try_recv(
         // like the thread backend.
         return Attempt::Fail(ChanFail::Mismatch(header));
     }
-    let arrival = dev
-        .clock
-        .max(sent_at + dev.cost.p2p_time_between(peer, dev.device, bytes));
+    let wire_ns = dev.cost.p2p_time_between(peer, dev.device, bytes);
+    let arrival = dev.clock.max(sent_at + wire_ns);
+    dev.last_recv = (sent_at, wire_ns);
     chan.dequeues.push_back(arrival);
     let gap = arrival.saturating_sub(dev.clock);
     let drained = dev.drain_chunks(env, gap);
@@ -580,6 +647,8 @@ fn step(
                                 return Stepped::Failed(e);
                             }
                             dev.record_event(instr, start);
+                            let launch = dev.cost.p2p_launch_overhead();
+                            dev.record_span(pc as u32, start, launch, 0, 0, 0);
                             dev.pc = pc + 1;
                         }
                         Attempt::Fail(f) => {
@@ -603,6 +672,9 @@ fn step(
                             let program = dev.program;
                             let instr = program.get(pc).expect("pc in range");
                             dev.record_event(instr, start);
+                            let launch = dev.cost.p2p_launch_overhead();
+                            let (sent_at, wire_ns) = dev.last_recv;
+                            dev.record_span(pc as u32, start, launch, sent_at, wire_ns, 0);
                             dev.pc = pc + 1;
                         }
                         Attempt::Fail(f) => {
@@ -658,11 +730,13 @@ fn step(
                 // Serving ingress gate, arithmetic identical to the
                 // thread backend's: idle until the micro's release, with
                 // checkpoint chunks draining into the wait.
+                let mut sp_gate = 0;
                 if let Some(sv) = dev.serving {
                     if matches!(instr.kind, InstrKind::Forward { .. })
                         && sv.topo.is_first_stage(dev.device, instr.part)
                     {
-                        let gap = sv.release_of(instr.micro).saturating_sub(dev.clock);
+                        sp_gate = sv.release_of(instr.micro);
+                        let gap = sp_gate.saturating_sub(dev.clock);
                         let drained = dev.drain_chunks(env, gap);
                         dev.telemetry.classes.on_recv_gap(gap, drained);
                         dev.clock += gap;
@@ -703,6 +777,7 @@ fn step(
                     }
                 }
                 dev.record_event(instr, start);
+                dev.record_span(pc as u32, start, dur, 0, 0, sp_gate);
                 dev.pc = pc + 1;
             }
             InstrKind::SendAct { peer } | InstrKind::SendGrad { peer } => {
@@ -735,6 +810,7 @@ fn step(
                         return Stepped::Failed(e);
                     }
                     dev.record_event(instr, start);
+                    dev.record_span(pc as u32, start, launch, 0, 0, 0);
                     dev.pc = pc + 1;
                     continue;
                 }
@@ -805,6 +881,7 @@ fn step(
                 dev.clock += dt;
                 dev.telemetry.classes.allreduce_ns += dt;
                 dev.record_event(instr, start);
+                dev.record_span(pc as u32, start, dt, 0, 0, 0);
                 dev.pc = pc + 1;
             }
             InstrKind::OptimizerStep => {
@@ -812,6 +889,7 @@ fn step(
                 dev.clock += dt;
                 dev.telemetry.classes.optimizer_ns += dt;
                 dev.record_event(instr, start);
+                dev.record_span(pc as u32, start, dt, 0, 0, 0);
                 dev.pc = pc + 1;
             }
         }

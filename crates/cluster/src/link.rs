@@ -60,6 +60,20 @@ enum Ack {
     Poison,
 }
 
+/// Decomposition of a successful receive: the arrival (the receiver's
+/// clock after the message is available) plus the two packet-side terms
+/// the span graph records — the departure timestamp and the wire time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvInfo {
+    /// `max(now, sent_at + wire_ns)` — the receiver's new clock.
+    pub arrival: Nanos,
+    /// Sender virtual clock when the packet departed (including any
+    /// injected link delay).
+    pub sent_at: Nanos,
+    /// Wire transfer duration for the packet's payload.
+    pub wire_ns: Nanos,
+}
+
 /// Outcome of a blocking link operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkError {
@@ -204,6 +218,17 @@ impl RecvHalf {
         now: Nanos,
         transfer_ns: impl Fn(u64) -> Nanos,
     ) -> Result<Nanos, LinkError> {
+        self.recv_info(expect, now, transfer_ns).map(|i| i.arrival)
+    }
+
+    /// [`RecvHalf::recv`], also exposing the packet's departure timestamp
+    /// and wire time — the per-receive decomposition the span graph needs.
+    pub fn recv_info(
+        &mut self,
+        expect: Header,
+        now: Nanos,
+        transfer_ns: impl Fn(u64) -> Nanos,
+    ) -> Result<RecvInfo, LinkError> {
         let pkt = match self.data.recv_timeout(self.timeout) {
             Ok(Wire::Pkt(p)) => p,
             // The sender settled (finished or failed) and will never send
@@ -216,12 +241,17 @@ impl RecvHalf {
         if pkt.header != expect {
             return Err(LinkError::Mismatch(pkt.header));
         }
-        let arrival = now.max(pkt.sent_at + transfer_ns(pkt.bytes));
+        let wire_ns = transfer_ns(pkt.bytes);
+        let arrival = now.max(pkt.sent_at + wire_ns);
         // The ack channel outsizes the in-flight ack count and the sender
         // reads one ack per extra send, so this never blocks; a sender that
         // has already finished (dropped its ack end) simply no longer cares.
         let _ = self.ack.send(Ack::At(arrival));
-        Ok(arrival)
+        Ok(RecvInfo {
+            arrival,
+            sent_at: pkt.sent_at,
+            wire_ns,
+        })
     }
 
     /// Enqueues poison on the ack channel (once): a peer blocked waiting

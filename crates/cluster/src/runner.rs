@@ -17,7 +17,9 @@ use crate::error::EmuError;
 use crate::faults::{FaultPlan, FaultReport};
 use crate::link::{link, RecvHalf, SendHalf};
 use mario_ir::exec::MsgClass;
-use mario_ir::{CheckpointPolicy, CostModel, DeviceId, InstrKind, Nanos, Schedule, Telemetry};
+use mario_ir::{
+    CheckpointPolicy, CostModel, DeviceId, InstrKind, Nanos, Schedule, SpanGraph, Telemetry,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -64,6 +66,10 @@ pub struct EmulatorConfig {
     pub mem_capacity: Option<u64>,
     /// Record a full per-instruction timeline.
     pub record_timeline: bool,
+    /// Record the executed span graph ([`mario_ir::SpanGraph`]) — the
+    /// input to critical-path analysis. Bit-identical across both
+    /// backends and the DP simulator on a zero-jitter run.
+    pub record_spans: bool,
     /// Model-state checkpointing policy (None = no checkpoints; the run
     /// is bit-identical to a build without the checkpoint layer).
     pub checkpoint: Option<CheckpointPolicy>,
@@ -89,6 +95,7 @@ impl Default for EmulatorConfig {
             seed: 42,
             mem_capacity: None,
             record_timeline: false,
+            record_spans: false,
             checkpoint: None,
             watchdog: Duration::from_secs(2),
             backend: EmulatorBackend::Thread,
@@ -165,6 +172,11 @@ pub struct RunReport {
     /// (`mario_cluster::serving::serve`); None on training runs.
     #[serde(default)]
     pub serving: Option<crate::serving::ServingTelemetry>,
+    /// The executed span graph (Some only when
+    /// [`EmulatorConfig::record_spans`] was set): the causal record
+    /// `mario-core`'s critical-path analyzer consumes.
+    #[serde(default)]
+    pub spans: Option<SpanGraph>,
 }
 
 impl RunReport {
@@ -331,6 +343,7 @@ fn run_threaded(
                             straggler_spread: cfg.straggler_spread,
                             seed: cfg.seed,
                             record_timeline: cfg.record_timeline,
+                            record_spans: cfg.record_spans,
                             faults,
                             stalls,
                             checkpoint: cfg.checkpoint,
@@ -497,6 +510,25 @@ pub(crate) fn settle_report(
         telemetry.check_conservation(&clocks_by_id)
     );
     debug_assert_eq!(telemetry.total_ckpt_sync_ns(), ckpts.total_paid());
+    // Merge per-device span streams into one graph, keyed by each
+    // report's own device id (gappy survivor sets included).
+    let spans = if cfg.record_spans {
+        let mut graph = SpanGraph::new(0, cfg.channel_capacity);
+        for r in &reports {
+            for &s in &r.spans {
+                graph.push(s);
+            }
+        }
+        graph.makespan = total_ns;
+        debug_assert!(
+            graph.check_tiling(&clocks_by_id).is_ok(),
+            "span tiling violated on {:?}",
+            graph.check_tiling(&clocks_by_id)
+        );
+        Some(graph)
+    } else {
+        None
+    };
     Ok(RunReport {
         total_ns,
         iter_ns,
@@ -508,6 +540,7 @@ pub(crate) fn settle_report(
         ckpt_overhead_ns: ckpts.total_paid(),
         telemetry,
         serving: None,
+        spans,
     })
 }
 
@@ -972,6 +1005,7 @@ mod tests {
             ckpt_overhead_ns: 0,
             telemetry: Telemetry::default(),
             serving: None,
+            spans: None,
         };
         assert!((r.throughput(128) - 64.0).abs() < 1e-9);
         assert_eq!(r.max_peak_mem(), 30);
@@ -1500,6 +1534,7 @@ mod tests {
                 telemetry,
                 link_sends: HashMap::new(),
                 link_recv_wait: HashMap::new(),
+                spans: Vec::new(),
             }
         };
         let ckpts = CkptBoard::new(7);

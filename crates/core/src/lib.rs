@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod critpath;
 pub mod elastic;
 pub mod passes;
 pub mod serving;
@@ -30,6 +31,7 @@ pub mod tuner;
 pub mod viz;
 
 pub use api::{optimize, run, MarioConfig, Optimized};
+pub use critpath::{analyze, whatif, CritReport, PathBreakdown, PathSegment, SegClass, WhatIf, WhatIfResult};
 pub use elastic::{
     compare_policies, plan_shrink, ElasticPlan, ElasticSetup, LayerScaledCost, PolicyComparison,
 };
@@ -45,8 +47,9 @@ pub use simulator::{
     SimTimeline,
 };
 pub use trace::{
-    emu_to_chrome_trace, emu_to_chrome_trace_rich, rich_chrome_trace, sim_to_chrome_trace,
-    sim_to_chrome_trace_rich, to_chrome_trace, TraceEvent, COUNTER_PID,
+    emu_to_chrome_trace, emu_to_chrome_trace_rich, rich_chrome_trace, rich_chrome_trace_annotated,
+    sim_to_chrome_trace, sim_to_chrome_trace_annotated, sim_to_chrome_trace_rich, to_chrome_trace,
+    TraceEvent, COUNTER_PID,
 };
 pub use tuner::{
     admissible, daly_interval, effective_write_ns, evaluate, fit_fault_rate, fit_fault_rate_on,

@@ -57,6 +57,7 @@ pub fn simulate_serving(
                         last_checkpoint: t.last_checkpoint,
                         ckpt_overhead_ns: t.ckpt_overhead_ns,
                         telemetry: t.telemetry,
+                        spans: Some(t.spans),
                         ..RunReport::default()
                     };
                     (Ok(rep), completions)

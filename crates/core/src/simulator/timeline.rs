@@ -22,7 +22,8 @@
 use mario_ir::exec::MsgClass;
 use mario_ir::{
     AllocKey, CheckpointPolicy, CostModel, DeviceId, DeviceTelemetry, InstrKind, LinkSendStats,
-    MemLedger, MemoryRules, Nanos, PerturbationProfile, Schedule, Telemetry,
+    MemLedger, MemoryRules, Nanos, OpSpan, PerturbationProfile, Schedule, SpanGraph, Telemetry,
+    CKPT_PC,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -67,6 +68,12 @@ pub struct SimTimeline {
     /// `RunReport::telemetry`.
     #[serde(default)]
     pub telemetry: Telemetry,
+    /// The executed span graph (one [`OpSpan`] per instruction occurrence
+    /// plus checkpoint boundaries), the input to
+    /// `mario_core::critpath::analyze` — bit-identical to a zero-jitter
+    /// emulator run captured with `record_spans`.
+    #[serde(default)]
+    pub spans: SpanGraph,
 }
 
 impl SimTimeline {
@@ -248,6 +255,7 @@ impl CkptSim {
     /// serialization buffer held against `ledger` at its peak. Returns
     /// the write time charged synchronously to the clock (the
     /// telemetry's `ckpt_sync_ns`).
+    #[allow(clippy::too_many_arguments)]
     fn boundary(
         &mut self,
         d: usize,
@@ -256,6 +264,7 @@ impl CkptSim {
         clock: &mut Nanos,
         ledger: &mut MemLedger,
         events: &mut Vec<SimEvent>,
+        spans: &mut SpanGraph,
     ) -> Nanos {
         if !self.policy.is_boundary(iter_idx) {
             return 0;
@@ -292,13 +301,31 @@ impl CkptSim {
             start,
             end: *clock,
         });
+        spans.push(OpSpan {
+            device: dev,
+            iter: iter_idx,
+            pc: CKPT_PC,
+            start,
+            end: *clock,
+            work_ns: *clock - start,
+            sent_at: 0,
+            wire_ns: 0,
+            gate_ns: 0,
+        });
         paid
     }
 
     /// End-of-run drain: no bubbles remain, so any residue is paid
     /// synchronously (the emulator's `drain_checkpoint`). Returns the
     /// residue paid.
-    fn drain_end(&mut self, d: usize, clock: &mut Nanos, events: &mut Vec<SimEvent>) -> Nanos {
+    fn drain_end(
+        &mut self,
+        d: usize,
+        iterations: u32,
+        clock: &mut Nanos,
+        events: &mut Vec<SimEvent>,
+        spans: &mut SpanGraph,
+    ) -> Nanos {
         let start = *clock;
         let paid = self.flush_residue(d, clock);
         if *clock > start {
@@ -307,6 +334,17 @@ impl CkptSim {
                 instr: "CKPT".to_string(),
                 start,
                 end: *clock,
+            });
+            spans.push(OpSpan {
+                device: DeviceId(d as u32),
+                iter: iterations.saturating_sub(1),
+                pc: CKPT_PC,
+                start,
+                end: *clock,
+                work_ns: *clock - start,
+                sent_at: 0,
+                wire_ns: 0,
+                gate_ns: 0,
             });
         }
         paid
@@ -425,6 +463,7 @@ fn simulate_core(
     let mut cur_iter = vec![0u32; devices];
     let mut events: Vec<SimEvent> =
         Vec::with_capacity(schedule.total_instrs() * iterations as usize);
+    let mut spans = SpanGraph::new(devices, channel_capacity);
     // Per-micro completion board (serving mode): earliest last-stage
     // forward finish — the emulator's `ServeBoard::record` (fetch_min).
     let mut completions: Vec<Option<Nanos>> = match serving {
@@ -457,7 +496,7 @@ fn simulate_core(
             if schedule.program(DeviceId(d as u32)).is_empty() {
                 for it in 0..iterations {
                     tel[d].classes.ckpt_sync_ns +=
-                        ck.boundary(d, it, cost, clock, &mut ledgers[d], &mut events);
+                        ck.boundary(d, it, cost, clock, &mut ledgers[d], &mut events, &mut spans);
                 }
             }
         }
@@ -487,6 +526,8 @@ fn simulate_core(
             let &instr = &prog.instrs()[lpc];
             all_done = false;
             let start = clocks[d];
+            // Span-capture fields for this firing, filled in by the arms.
+            let (mut sp_work, mut sp_sent, mut sp_wire, mut sp_gate) = (0, 0, 0, 0);
             let fired_now = match instr.kind {
                 InstrKind::Forward { .. }
                 | InstrKind::Backward
@@ -501,11 +542,8 @@ fn simulate_core(
                         if matches!(instr.kind, InstrKind::Forward { .. })
                             && schedule.topology.is_first_stage(dev, instr.part)
                         {
-                            let gap = release
-                                .get(instr.micro.index())
-                                .copied()
-                                .unwrap_or(0)
-                                .saturating_sub(clocks[d]);
+                            sp_gate = release.get(instr.micro.index()).copied().unwrap_or(0);
+                            let gap = sp_gate.saturating_sub(clocks[d]);
                             let drained = match ckpt.as_mut() {
                                 Some(ck) => ck.drain(d, gap),
                                 None => 0,
@@ -515,6 +553,7 @@ fn simulate_core(
                         }
                     }
                     let dur = profile.scaled_compute(dev, iter, lpc, cost.duration(dev, &instr));
+                    sp_work = dur;
                     clocks[d] += dur;
                     tel[d].classes.compute_ns += dur;
                     rules
@@ -533,12 +572,14 @@ fn simulate_core(
                 }
                 InstrKind::AllReduce => {
                     let dt = cost.allreduce_time(dev);
+                    sp_work = dt;
                     clocks[d] += dt;
                     tel[d].classes.allreduce_ns += dt;
                     true
                 }
                 InstrKind::OptimizerStep => {
                     let dt = cost.optimizer_time(dev);
+                    sp_work = dt;
                     clocks[d] += dt;
                     tel[d].classes.optimizer_ns += dt;
                     true
@@ -581,6 +622,7 @@ fn simulate_core(
                     let extra = profile.link_extra(dev, peer, iter, nth);
                     ch.queue.push_back((id, clocks[d] + extra));
                     ch.outstanding += 1;
+                    sp_work = launch;
                     tel[d].classes.comm_launch_ns += launch;
                     // A capacity wait is idle time exactly like a recv
                     // wait: async checkpoint chunks drain into it too —
@@ -620,9 +662,10 @@ fn simulate_core(
                             ch.queue.pop_front();
                             let bytes = cost.boundary_bytes(dev, instr.part);
                             let launch = cost.p2p_launch_overhead();
+                            let wire = cost.p2p_time_between(peer, dev, bytes);
                             let ready = clocks[d] + launch;
-                            let arrival =
-                                ready.max(sent_at + cost.p2p_time_between(peer, dev, bytes));
+                            let arrival = ready.max(sent_at + wire);
+                            (sp_work, sp_sent, sp_wire) = (launch, sent_at, wire);
                             // The wait for this message is exactly the
                             // idle gap an async checkpoint write drains
                             // into — the emulator's recv-side chunk flush.
@@ -651,6 +694,17 @@ fn simulate_core(
                     start,
                     end: clocks[d],
                 });
+                spans.push(OpSpan {
+                    device: dev,
+                    iter,
+                    pc: lpc as u32,
+                    start,
+                    end: clocks[d],
+                    work_ns: sp_work,
+                    sent_at: sp_sent,
+                    wire_ns: sp_wire,
+                    gate_ns: sp_gate,
+                });
                 gpc[d] += 1;
                 fired = true;
                 // Completing the program's last instruction is the
@@ -665,6 +719,7 @@ fn simulate_core(
                             &mut clocks[d],
                             &mut ledgers[d],
                             &mut events,
+                            &mut spans,
                         );
                     }
                 }
@@ -693,12 +748,19 @@ fn simulate_core(
     // synchronously so the final checkpoint is durable when the run ends.
     if let Some(ck) = ckpt.as_mut() {
         for (d, clock) in clocks.iter_mut().enumerate() {
-            tel[d].classes.ckpt_sync_ns += ck.drain_end(d, clock, &mut events);
+            tel[d].classes.ckpt_sync_ns +=
+                ck.drain_end(d, iterations, clock, &mut events, &mut spans);
         }
     }
 
     events.sort_by_key(|e| (e.start, e.device.0));
     let total_ns = clocks.iter().copied().max().unwrap_or(0);
+    spans.makespan = total_ns;
+    debug_assert!(
+        spans.check_tiling(&clocks).is_ok(),
+        "span tiling violated on {:?}",
+        spans.check_tiling(&clocks)
+    );
     let (ckpt_overhead_ns, last_checkpoint) = match &ckpt {
         Some(ck) => (
             ck.paid.iter().sum(),
@@ -735,6 +797,7 @@ fn simulate_core(
             ckpt_overhead_ns,
             last_checkpoint,
             telemetry,
+            spans,
         },
         completions,
     ))

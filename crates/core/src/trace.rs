@@ -19,9 +19,10 @@
 //! numbers plus instruction names from our own compact notation, so the
 //! only escaping required is for the quote/backslash/control classes.
 
+use crate::critpath::CritReport;
 use crate::simulator::{memory_series, SimTimeline};
 use mario_cluster::TimelineEvent;
-use mario_ir::{CostModel, DeviceId, Nanos, PartId, Schedule};
+use mario_ir::{CostModel, DeviceId, Nanos, PartId, Schedule, SpanGraph};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// One trace event, format-agnostic.
@@ -140,7 +141,18 @@ impl Writer {
         self.first = false;
     }
 
-    fn slice(&mut self, pid: u32, tid: u32, name: &str, start: Nanos, end: Nanos) {
+    /// A slice with optional causal annotation: `Some((on_path, slack))`
+    /// stamps `args.cp` / `args.slack_ns`, and critical-path slices get a
+    /// reserved color name so the path pops visually in the viewer.
+    fn slice_annotated(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        start: Nanos,
+        end: Nanos,
+        annot: Option<(bool, Nanos)>,
+    ) {
         self.open();
         self.out
             .push_str(&format!("{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":\""));
@@ -148,9 +160,30 @@ impl Writer {
         self.out.push_str("\",\"cat\":\"");
         self.out.push_str(category(name));
         self.out.push_str(&format!(
-            "\",\"ts\":{:.3},\"dur\":{:.3}}}",
+            "\",\"ts\":{:.3},\"dur\":{:.3}",
             start as f64 / 1e3,
             (end - start) as f64 / 1e3
+        ));
+        if let Some((cp, slack)) = annot {
+            if cp {
+                self.out.push_str(",\"cname\":\"terrible\"");
+            }
+            self.out.push_str(&format!(
+                ",\"args\":{{\"cp\":{cp},\"slack_ns\":{slack}}}"
+            ));
+        }
+        self.out.push('}');
+    }
+
+    /// An instant marker (`ph: i`), e.g. a serving completion.
+    fn instant(&mut self, pid: u32, tid: u32, name: &str, ts: Nanos) {
+        self.open();
+        self.out
+            .push_str(&format!("{{\"ph\":\"i\",\"s\":\"g\",\"pid\":{pid},\"tid\":{tid},\"name\":\""));
+        escape(name, &mut self.out);
+        self.out.push_str(&format!(
+            "\",\"cat\":\"serving\",\"ts\":{:.3}}}",
+            ts as f64 / 1e3
         ));
     }
 
@@ -207,12 +240,30 @@ fn write_slices<'a>(
     events: &[TraceEvent<'a>],
     thread_name: impl Fn(u32, u32) -> String,
 ) {
+    write_slices_annotated(w, events, thread_name, &[]);
+}
+
+/// [`write_slices`] with per-event causal annotations (parallel to
+/// `events`; pass `&[]` for none).
+fn write_slices_annotated<'a>(
+    w: &mut Writer,
+    events: &[TraceEvent<'a>],
+    thread_name: impl Fn(u32, u32) -> String,
+    annots: &[Option<(bool, Nanos)>],
+) {
     // (part → devices) seen, for the metadata pass.
     let mut groups: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
-    for e in events {
+    for (i, e) in events.iter().enumerate() {
         let pid = part_of(e.name);
         groups.entry(pid).or_default().insert(e.device);
-        w.slice(pid, e.device, e.name, e.start, e.end);
+        w.slice_annotated(
+            pid,
+            e.device,
+            e.name,
+            e.start,
+            e.end,
+            annots.get(i).copied().flatten(),
+        );
     }
     for (pid, devices) in groups {
         w.metadata(pid, None, "process_name", &format!("pipeline part {pid}"));
@@ -254,14 +305,75 @@ pub fn rich_chrome_trace<'a>(
     schedule: &Schedule,
     cost: &dyn CostModel,
 ) -> String {
+    rich_chrome_trace_annotated(events, schedule, cost, None, None)
+}
+
+/// [`rich_chrome_trace`] with causal overlays.
+///
+/// * `crit` — the recorded span graph and its [`CritReport`]: every slice
+///   that matches a recorded span gets `args.cp` (on the critical path?)
+///   and `args.slack_ns` (how much it could slow before the makespan
+///   moves), and critical-path slices get a distinct reserved color.
+///   Slices are matched to spans by `(device, start, end)` extent, so the
+///   overlay works on both the simulator's and the emulators' timelines.
+/// * `completions` — serving completion times per micro-batch (the
+///   ServeBoard record of a forward-only run): each lands as a global
+///   instant marker at the moment the last stage finished that micro.
+pub fn rich_chrome_trace_annotated<'a>(
+    events: &[TraceEvent<'a>],
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    crit: Option<(&SpanGraph, &CritReport)>,
+    completions: Option<&[Option<Nanos>]>,
+) -> String {
     let topo = &schedule.topology;
     let mut w = Writer::new();
-    write_slices(&mut w, events, |p, d| {
-        format!(
-            "device {d} · stage {}",
-            topo.stage_of(DeviceId(d), PartId(p)).0
-        )
-    });
+    // Causal overlay: recorded spans keyed by extent, consumed FIFO so a
+    // repeated (device, start, end) — e.g. zero-length boundary markers —
+    // pairs in order.
+    let annots: Vec<Option<(bool, Nanos)>> = match crit {
+        Some((spans, report)) => {
+            let mut by_extent: HashMap<(u32, Nanos, Nanos), VecDeque<(usize, usize)>> =
+                HashMap::new();
+            for (d, ops) in spans.per_device.iter().enumerate() {
+                for (i, s) in ops.iter().enumerate() {
+                    by_extent
+                        .entry((s.device.0, s.start, s.end))
+                        .or_default()
+                        .push_back((d, i));
+                }
+            }
+            events
+                .iter()
+                .map(|e| {
+                    by_extent
+                        .get_mut(&(e.device, e.start, e.end))
+                        .and_then(VecDeque::pop_front)
+                        .map(|(d, i)| (report.on_path[d][i], report.slack[d][i]))
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+    write_slices_annotated(
+        &mut w,
+        events,
+        |p, d| {
+            format!(
+                "device {d} · stage {}",
+                topo.stage_of(DeviceId(d), PartId(p)).0
+            )
+        },
+        &annots,
+    );
+    // Serving completion markers: one instant per finished micro-batch.
+    if let Some(done) = completions {
+        for (m, t) in done.iter().enumerate() {
+            if let Some(t) = t {
+                w.instant(0, 0, &format!("serve: micro {m} done"), *t);
+            }
+        }
+    }
 
     // Flow arrows: sends queue their slice under the transfer key, recvs
     // consume FIFO. An `s` event anchors at the send slice start and the
@@ -365,6 +477,30 @@ pub fn sim_to_chrome_trace_rich(
         })
         .collect();
     rich_chrome_trace(&events, schedule, cost)
+}
+
+/// Exports a simulated timeline with the causal overlay: everything
+/// [`sim_to_chrome_trace_rich`] emits, plus per-slice `cp`/`slack_ns`
+/// annotations from `report` (computed over `t.spans`) and, for serving
+/// runs, per-micro completion markers.
+pub fn sim_to_chrome_trace_annotated(
+    t: &SimTimeline,
+    schedule: &Schedule,
+    cost: &dyn CostModel,
+    report: &CritReport,
+    completions: Option<&[Option<Nanos>]>,
+) -> String {
+    let events: Vec<TraceEvent<'_>> = t
+        .events
+        .iter()
+        .map(|e| TraceEvent {
+            device: e.device.0,
+            name: &e.instr,
+            start: e.start,
+            end: e.end,
+        })
+        .collect();
+    rich_chrome_trace_annotated(&events, schedule, cost, Some((&t.spans, report)), completions)
 }
 
 /// Exports an emulated timeline with flow arrows, counter tracks and
@@ -561,5 +697,52 @@ mod tests {
             .count();
         assert_eq!(json.matches("\"ph\":\"s\"").count(), sends);
         assert_eq!(json.matches("\"ph\":\"f\"").count(), sends);
+    }
+
+    #[test]
+    fn annotated_trace_marks_the_critical_path() {
+        let s = generate(ScheduleConfig::new(SchemeKind::OneFOneB, 3, 4));
+        let cost = UnitCost::paper_grid();
+        let t = simulate_timeline(&s, &cost, 1).unwrap();
+        let report = crate::critpath::analyze(&s, &t.spans);
+        let json = sim_to_chrome_trace_annotated(&t, &s, &cost, &report, None);
+        // Every instruction slice got an annotation, critical-path ones
+        // carry the reserved color, and at least one off-path slice
+        // reports nonzero slack.
+        let slices = t.events.len();
+        assert_eq!(json.matches("\"cp\":").count(), slices);
+        let on_path: usize = report
+            .on_path
+            .iter()
+            .flatten()
+            .filter(|&&on| on)
+            .count();
+        assert_eq!(json.matches("\"cname\":\"terrible\"").count(), on_path);
+        assert!(json.contains("\"cp\":true"));
+        assert!(json.matches("\"slack_ns\":0").count() >= on_path);
+        // Structurally sound JSON with the overlay present.
+        assert!(json.contains("\"slack_ns\":"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn annotated_trace_emits_serving_completion_markers() {
+        use crate::simulator::timeline::simulate_timeline_serving;
+        use mario_ir::PerturbationProfile;
+        let s = generate(ScheduleConfig::new(SchemeKind::ForwardOnly, 3, 3));
+        let cost = UnitCost::paper_grid();
+        let release = vec![0, 5_000, 9_000];
+        let (t, done) =
+            simulate_timeline_serving(&s, &cost, 1, &PerturbationProfile::identity(), &release)
+                .unwrap();
+        let report = crate::critpath::analyze(&s, &t.spans);
+        let json = sim_to_chrome_trace_annotated(&t, &s, &cost, &report, Some(&done));
+        let finished = done.iter().filter(|c| c.is_some()).count();
+        assert_eq!(finished, 3);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), finished);
+        assert!(json.contains("serve: micro 0 done"));
+        // The held releases surface as path bubbles in the report the
+        // overlay was built from.
+        assert!(report.breakdown.bubble_ns > 0);
     }
 }

@@ -10,8 +10,8 @@ use crate::passes::{run_graph_tuner, GraphTunerOptions, PreposeOptions};
 use crate::simulator::{simulate_memory, simulate_timeline, simulate_timeline_with, SimError};
 use mario_cluster::{FaultPlan, FaultReport, RecoveryPolicy};
 use mario_ir::{
-    min_channel_capacity, CheckpointPolicy, DeviceId, PerturbationProfile, Schedule, SchemeKind,
-    Topology,
+    min_channel_capacity, CheckpointPolicy, CostModel, DeviceId, PerturbationProfile, Schedule,
+    SchemeKind, Topology,
 };
 use mario_model::{AnalyticCost, GpuSpec, ModelConfig, TrainSetup};
 use mario_schedules::{generate, ScheduleConfig};
@@ -107,6 +107,21 @@ pub struct TunerConfig {
     /// shrink onto the survivors and continue degraded — and reports the
     /// cheaper one with its crossover horizon on [`TuneResult::recovery`].
     pub recovery: Option<RecoveryTuning>,
+    /// Skip full evaluation of grid points whose *busy-time floor*
+    /// already caps their throughput at or below the best candidate seen
+    /// so far. The floor is [`busy_floor`] — the slowest device's summed
+    /// instruction occupancy in the generated (untuned) schedule, a
+    /// critical-path lower bound on the simulated iteration time that
+    /// costs one schedule generation instead of graph-tuning plus
+    /// simulation. Pruned points stay on the curve as
+    /// [`CandidateFailure::BoundPruned`] and are counted in
+    /// [`SearchStats::pruned_bound`]. The winner is provably unchanged:
+    /// a pruned candidate's true time is at least the floor, so its true
+    /// throughput can never exceed the incumbent it was compared to.
+    /// The comparison is on fault-free throughput: combined with
+    /// [`TunerConfig::perturbation`], pruned points are also excluded
+    /// from the degraded re-ranking pass.
+    pub bound_prune: bool,
 }
 
 impl TunerConfig {
@@ -128,6 +143,7 @@ impl TunerConfig {
             perturbation: None,
             checkpoint: None,
             recovery: None,
+            bound_prune: false,
         }
     }
 }
@@ -461,6 +477,13 @@ pub enum CandidateFailure {
     /// Emulator validation failed (only with
     /// [`TunerConfig::validate_on_emulator`]).
     Emulation(String),
+    /// Skipped by bound pruning (only with [`TunerConfig::bound_prune`]):
+    /// the busy-time floor already caps this candidate's throughput at or
+    /// below the best one seen when it was visited.
+    BoundPruned {
+        /// The admissible lower bound on the iteration time, ns.
+        bound_ns: u64,
+    },
 }
 
 impl std::fmt::Display for CandidateFailure {
@@ -472,6 +495,9 @@ impl std::fmt::Display for CandidateFailure {
             CandidateFailure::SimDeadlock(s) => write!(f, "{s}"),
             CandidateFailure::SimMismatch(s) => write!(f, "{s}"),
             CandidateFailure::Emulation(s) => write!(f, "emulator validation failed: {s}"),
+            CandidateFailure::BoundPruned { bound_ns } => {
+                write!(f, "bound-pruned: busy floor {bound_ns} ns cannot beat the incumbent")
+            }
         }
     }
 }
@@ -512,6 +538,25 @@ impl Evaluation {
             _ => None,
         }
     }
+
+    /// Causal attribution for this evaluation: rebuilds the candidate's
+    /// exact schedule (graph tuning included), re-simulates it, and runs
+    /// the critical-path analyzer over the recorded span graph — *why* is
+    /// the iteration time what it is, nanosecond by nanosecond. `None`
+    /// when the candidate is inadmissible or its simulation fails. The
+    /// rebuilt makespan equals [`Evaluation::iter_ns`] for feasible
+    /// candidates (the whole pipeline is deterministic).
+    pub fn explain(
+        &self,
+        model: &ModelConfig,
+        gpu: &GpuSpec,
+        cfg: &TunerConfig,
+    ) -> Option<crate::critpath::CritReport> {
+        let micros = admissible(model, &self.candidate, cfg.gbs)?;
+        let (schedule, cost, cap) = build_schedule(model, gpu, cfg, self.candidate, micros);
+        let timeline = simulate_timeline(&schedule, &cost, cap).ok()?;
+        Some(crate::critpath::analyze(&schedule, &timeline.spans))
+    }
 }
 
 /// Search-effort accounting for one [`tune`] invocation: how many grid
@@ -535,6 +580,9 @@ pub struct SearchStats {
     /// Simulated candidates pruned by a simulation failure (deadlock or
     /// mis-paired communication).
     pub pruned_sim_failure: u64,
+    /// Grid points skipped by the busy-floor bound without simulation
+    /// (only with [`TunerConfig::bound_prune`]).
+    pub pruned_bound: u64,
     /// Re-simulations under [`TunerConfig::perturbation`] (bounded by
     /// [`MAX_DEGRADED_EVALS`]).
     pub degraded_evals: u64,
@@ -576,6 +624,19 @@ pub struct TuneResult {
     pub stats: SearchStats,
     /// Wall-clock time of the search.
     pub tuning_time: Duration,
+}
+
+impl TuneResult {
+    /// [`Evaluation::explain`] for the winning candidate: the critical
+    /// path and per-op slack of the schedule the search selected.
+    pub fn explain_best(
+        &self,
+        model: &ModelConfig,
+        gpu: &GpuSpec,
+        cfg: &TunerConfig,
+    ) -> Option<crate::critpath::CritReport> {
+        self.best.explain(model, gpu, cfg)
+    }
 }
 
 /// Errors from tuning.
@@ -704,6 +765,45 @@ fn build_schedule(
     (schedule, cost, cap)
 }
 
+/// Cluster throughput (samples/s) of `cand` at iteration time `iter_ns`,
+/// with the DP-efficiency discount applied. 0 when the time is unknown.
+fn throughput_of(cfg: &TunerConfig, cand: &Candidate, iter_ns: u64) -> f64 {
+    if iter_ns == 0 {
+        return 0.0;
+    }
+    let eff = cfg.dp_efficiency.powf((cand.dp as f64).log2());
+    (cfg.gbs as f64 / (iter_ns as f64 / 1e9)) * eff
+}
+
+/// An admissible lower bound on a candidate's simulated iteration time:
+/// the slowest device's summed instruction occupancy in the *generated*
+/// schedule, before graph tuning. Every device executes its program
+/// serially, so the makespan is at least any device's busy time; the
+/// graph tuner only adds work (checkpoint recompute) or reorders it, so
+/// the untuned floor also bounds the tuned schedule. One schedule
+/// generation, no simulation — the cheap test [`tune`] uses for
+/// [`TunerConfig::bound_prune`].
+pub fn busy_floor(model: &ModelConfig, gpu: &GpuSpec, cand: &Candidate, micros: u32) -> u64 {
+    let topo = topology_of(cand.scheme, cand.pp);
+    let setup =
+        TrainSetup::pipeline(model.clone(), gpu.clone(), topo, cand.mbs).with_dp(cand.dp);
+    let cost = AnalyticCost::new(&setup);
+    let schedule = generate(
+        ScheduleConfig::new(cand.scheme, cand.pp, micros).allreduce(cand.dp > 1),
+    );
+    (0..schedule.devices())
+        .map(|d| {
+            let dev = DeviceId(d);
+            schedule
+                .program(dev)
+                .into_iter()
+                .map(|instr| cost.duration(dev, instr))
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
 /// Simulates one candidate end to end. Returns `None` when the candidate is
 /// structurally inadmissible; candidates that OOM or fail in simulation
 /// return an [`Evaluation`] with the failure recorded, so the search curve
@@ -735,12 +835,10 @@ pub fn evaluate(
     } else {
         sim_failure
     };
-    let eff = cfg.dp_efficiency.powf((cand.dp as f64).log2());
-    let throughput = if failure.is_some() || iter_ns == 0 {
+    let throughput = if failure.is_some() {
         0.0
     } else {
-        let samples = cfg.gbs as u64;
-        (samples as f64 / (iter_ns as f64 / 1e9)) * eff
+        throughput_of(cfg, &cand, iter_ns)
     };
     Some(Evaluation {
         candidate: cand,
@@ -774,6 +872,39 @@ pub fn tune(model: &ModelConfig, gpu: &GpuSpec, cfg: &TunerConfig) -> Result<Tun
                         mario,
                     };
                     stats.generated += 1;
+                    // Busy-floor pruning: a candidate whose cheap lower
+                    // bound cannot beat the incumbent is recorded and
+                    // skipped without simulating it. Comparing ≤ against
+                    // an earlier candidate is winner-preserving — a tie
+                    // would lose the stable ranking to the incumbent
+                    // anyway.
+                    if cfg.bound_prune {
+                        let incumbent = curve
+                            .iter()
+                            .filter(|e: &&Evaluation| e.feasible())
+                            .map(|e| e.throughput)
+                            .fold(0.0f64, f64::max);
+                        if incumbent > 0.0 {
+                            if let Some(micros) = admissible(model, &cand, cfg.gbs) {
+                                let bound_ns = busy_floor(model, gpu, &cand, micros);
+                                if throughput_of(cfg, &cand, bound_ns) <= incumbent {
+                                    stats.pruned_bound += 1;
+                                    curve.push(Evaluation {
+                                        candidate: cand,
+                                        throughput: 0.0,
+                                        iter_ns: 0,
+                                        degraded_iter_ns: None,
+                                        peak_mem: (0, 0),
+                                        oom: false,
+                                        failure: Some(CandidateFailure::BoundPruned {
+                                            bound_ns,
+                                        }),
+                                    });
+                                    continue;
+                                }
+                            }
+                        }
+                    }
                     match evaluate(model, gpu, cfg, cand) {
                         Some(eval) => {
                             stats.simulated += 1;
@@ -1724,5 +1855,77 @@ mod tests {
         if let Some(r_star) = shrink.crossover_remaining {
             assert!(r_star as u128 > 1);
         }
+    }
+
+    #[test]
+    fn bound_pruning_preserves_the_winner_and_prunes_something() {
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        let base = tune(&model, &gpu, &small_cfg()).unwrap();
+        let pruned_cfg = TunerConfig {
+            bound_prune: true,
+            ..small_cfg()
+        };
+        let pruned = tune(&model, &gpu, &pruned_cfg).unwrap();
+        // Same winner, same winning throughput: the busy floor is
+        // admissible, so pruning never discards a candidate that could
+        // have beaten the incumbent.
+        assert_eq!(pruned.best.candidate, base.best.candidate);
+        assert_eq!(pruned.best.iter_ns, base.best.iter_ns);
+        // The curve still names every grid point, pruned ones included.
+        assert_eq!(pruned.curve.len(), base.curve.len());
+        // On this grid, the bound actually fires and saves simulations.
+        assert!(pruned.stats.pruned_bound > 0, "{:?}", pruned.stats);
+        assert_eq!(
+            pruned.stats.simulated + pruned.stats.pruned_bound,
+            base.stats.simulated
+        );
+        let marked = pruned
+            .curve
+            .iter()
+            .filter(|e| matches!(e.failure, Some(CandidateFailure::BoundPruned { .. })))
+            .count() as u64;
+        assert_eq!(marked, pruned.stats.pruned_bound);
+        // Every recorded bound is honest: no pruned candidate's floor
+        // beats the fault-free winner's measured time per throughput.
+        for e in &pruned.curve {
+            if let Some(CandidateFailure::BoundPruned { bound_ns }) = e.failure {
+                assert!(throughput_of(&pruned_cfg, &e.candidate, bound_ns)
+                    <= pruned.best.throughput);
+            }
+        }
+    }
+
+    #[test]
+    fn busy_floor_is_admissible_on_every_simulated_point() {
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        let cfg = small_cfg();
+        let r = tune(&model, &gpu, &cfg).unwrap();
+        for e in r.curve.iter().filter(|e| e.feasible()) {
+            let micros = admissible(&model, &e.candidate, cfg.gbs).unwrap();
+            let floor = busy_floor(&model, &gpu, &e.candidate, micros);
+            assert!(
+                floor <= e.iter_ns,
+                "{}: floor {floor} exceeds simulated {}",
+                e.candidate,
+                e.iter_ns
+            );
+        }
+    }
+
+    #[test]
+    fn explain_reconciles_with_the_measured_iteration_time() {
+        let model = ModelConfig::gpt3_1_6b();
+        let gpu = GpuSpec::a100_40g();
+        let cfg = small_cfg();
+        let r = tune(&model, &gpu, &cfg).unwrap();
+        let report = r.explain_best(&model, &gpu, &cfg).expect("winner explains");
+        assert_eq!(report.makespan, r.best.iter_ns);
+        assert_eq!(report.breakdown.total(), r.best.iter_ns);
+        // The winner's time is fully attributed; a training schedule has
+        // no exogenous bubble on its path.
+        assert_eq!(report.breakdown.bubble_ns, 0);
+        assert!(report.breakdown.compute_ns > 0);
     }
 }

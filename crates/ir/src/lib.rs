@@ -44,6 +44,7 @@ pub mod list;
 pub mod perturb;
 pub mod rules;
 pub mod schedule;
+pub mod span;
 pub mod telemetry;
 pub mod text;
 pub mod topology;
@@ -59,6 +60,7 @@ pub use list::DeviceProgram;
 pub use perturb::{LinkSlack, PerturbationProfile, SlowdownWindow};
 pub use rules::MemoryRules;
 pub use schedule::Schedule;
+pub use span::{OpSpan, SpanGraph, CKPT_PC};
 pub use telemetry::{DeviceTelemetry, LinkSendStats, LinkTelemetry, Telemetry, TimeClasses};
 pub use text::{from_text, to_text};
 pub use topology::{SchemeKind, Topology};

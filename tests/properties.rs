@@ -652,6 +652,7 @@ proptest! {
             channel_capacity: cap,
             iterations: iters,
             checkpoint: policy,
+            record_spans: true,
             ..Default::default()
         };
         let emu = mario::cluster::run(&s, &cost, cfg).expect("emulation completes");
@@ -681,6 +682,20 @@ proptest! {
         prop_assert_eq!(sim.telemetry.total_ckpt_sync_ns(), sim.ckpt_overhead_ns);
         let bf = emu.telemetry.bubble_fraction(&emu.device_clocks);
         prop_assert!((0.0..=1.0).contains(&bf), "bubble fraction {bf}");
+        // The executed span graph — every op's extent, work, and message
+        // timing — is identical across all three backends, and the
+        // critical path computed from it tiles the makespan exactly.
+        let th_spans = emu.spans.as_ref().expect("thread backend recorded spans");
+        let ev_spans = ev.spans.as_ref().expect("event backend recorded spans");
+        prop_assert_eq!(&sim.spans, th_spans,
+            "span graph diverged (sim vs thread) on {:?} D={} N={} mode {} k={} iters {}",
+            scheme, d, n, mode, k, iters);
+        prop_assert_eq!(ev_spans, th_spans,
+            "span graph diverged (event vs thread) on {:?} D={} N={} mode {} k={} iters {}",
+            scheme, d, n, mode, k, iters);
+        let crit = mario::core::critpath::analyze(&s, &sim.spans);
+        prop_assert_eq!(crit.breakdown.total(), sim.total_ns,
+            "critical path does not tile the makespan on {:?} mode {}", scheme, mode);
     }
 }
 
@@ -1047,7 +1062,10 @@ proptest! {
         let cfg = ServeConfig {
             batch,
             retry: RetryPolicy::default(),
-            ..Default::default()
+            emulator: EmulatorConfig {
+                record_spans: true,
+                ..Default::default()
+            },
         };
         let th = serve(build, &cost, &cfg, &plan, &requests).unwrap();
         let ev = serve(
@@ -1094,6 +1112,19 @@ proptest! {
         );
         prop_assert_eq!(&tr.device_clocks, &er.device_clocks);
         prop_assert_eq!(&tr.device_clocks, &sr.device_clocks);
+        // The final attempt's span graph agrees three ways under the
+        // serving ingress gate, and the attributed critical path tiles
+        // its makespan (release waits surface as exogenous bubbles).
+        let th_spans = tr.spans.as_ref().expect("thread serve recorded spans");
+        let ev_spans = er.spans.as_ref().expect("event serve recorded spans");
+        let sim_spans = sr.spans.as_ref().expect("sim serve carries spans");
+        prop_assert_eq!(ev_spans, th_spans,
+            "serving span graph diverged (event vs thread) at p={} count={}", p, count);
+        prop_assert_eq!(sim_spans, th_spans,
+            "serving span graph diverged (sim vs thread) at p={} count={}", p, count);
+        let schedule = build(th.batches.len() as u32);
+        let crit = mario::core::critpath::analyze(&schedule, sim_spans);
+        prop_assert_eq!(crit.breakdown.total(), tr.total_ns);
     }
 }
 
